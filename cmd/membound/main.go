@@ -1,0 +1,58 @@
+// Command membound evaluates the paper's Section V-A memory-boundedness
+// analysis: sorting is memory-bandwidth bound exactly when y·log Z < x,
+// where x is the aggregate processing rate (comparisons/s), y the off-chip
+// bandwidth (elements/s), and Z the on-chip cache in blocks — a condition
+// independent of the instance size N.
+//
+// Usage:
+//
+//	membound [-cores n] [-ghz f] [-cycles c] [-bw GB/s] [-elem bytes] [-z blocks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		cores  = flag.Int("cores", 256, "cores on the node")
+		ghz    = flag.Float64("ghz", 1.7, "core clock in GHz")
+		cycles = flag.Float64("cycles", 16, "core cycles per comparison")
+		bw     = flag.Float64("bw", 8, "effective off-chip bandwidth in GB/s of useful sorted data")
+		elem   = flag.Float64("elem", 8, "element size in bytes")
+		z      = flag.Float64("z", 1e6, "on-chip cache size in blocks")
+	)
+	flag.Parse()
+
+	x, y := model.NodeRates(*cores, *ghz*1e9, *cycles, *bw*1e9, *elem)
+	a := model.MemoryBound(x, y, *z)
+	fmt.Printf("Section V-A analysis (y·log Z < x ⇔ memory bound; N cancels)\n\n")
+	fmt.Printf("  processing rate x      = %.3g comparisons/s (%d cores @ %.2f GHz, %.0f cyc/cmp)\n",
+		a.ProcessingRate, *cores, *ghz, *cycles)
+	fmt.Printf("  memory rate    y·lgZ   = %.3g elements/s (y = %.3g elem/s, Z = %.3g blocks)\n",
+		a.MemoryRate, y, *z)
+	fmt.Printf("  ratio x/(y·lgZ)        = %.3f\n", a.Ratio)
+	if a.MemoryBound {
+		fmt.Printf("  verdict: MEMORY-BANDWIDTH BOUND — a scratchpad helps\n")
+	} else {
+		fmt.Printf("  verdict: compute bound — extra bandwidth is wasted\n")
+	}
+
+	min := model.MinCoresForMemoryBound(*ghz*1e9, *cycles, *bw*1e9, *elem, *z)
+	fmt.Printf("\n  crossover: sorting becomes memory bound at >= %d cores on this node\n", min)
+
+	// Vendor guidance (paper §VII: "The core counts and minimum values of
+	// rho could guide vendors"), using the traffic profile from the
+	// paper's own Table I access counts.
+	g := model.VendorGuidance(*ghz*1e9, *cycles, *bw*1e9, *elem, *z, model.PaperProfile())
+	fmt.Printf("\nVendor guidance (Table I traffic profile, bandwidth-bound regime):\n")
+	fmt.Printf("  minimum useful expansion rho*   = %.2f\n", g.MinRho)
+	fmt.Printf("  NMsort speedup at 2X/4X/8X      = %.2fx / %.2fx / %.2fx\n",
+		g.SpeedupAt2X, g.SpeedupAt4X, g.SpeedupAt8X)
+	fmt.Printf("  ceiling as rho -> inf           = %.2fx (far-traffic ratio)\n", g.Ceiling)
+}

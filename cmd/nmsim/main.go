@@ -1,0 +1,62 @@
+// Command nmsim reproduces the paper's Table I: it records the GNU-sort
+// baseline and NMsort on a scaled workload, replays the traces through the
+// simulated two-level-memory node at 2X/4X/8X near-memory bandwidth, and
+// prints the sim time and per-level access counts.
+//
+// Usage:
+//
+//	nmsim [-n keys] [-cores n] [-sp bytes] [-seed s] [-dma]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n      = flag.Int("n", 1<<20, "keys to sort")
+		cores  = flag.Int("cores", 256, "simulated cores (multiple of 4)")
+		spMiB  = flag.Int("sp", 2, "scratchpad capacity in MiB")
+		seed   = flag.Uint64("seed", 2015, "input seed")
+		dma    = flag.Bool("dma", false, "use the §VII DMA engines in NMsort")
+		format = flag.String("format", "text", "output format: text, csv, markdown")
+		dist   = flag.String("dist", "uniform", "key distribution: uniform, zipf, sorted, reverse, fewkeys, gaussian, runblend")
+	)
+	flag.Parse()
+	f, ferr := report.ParseFormat(*format)
+	if ferr != nil {
+		log.Fatalf("nmsim: %v", ferr)
+	}
+
+	d, derr := workload.Parse(*dist)
+	if derr != nil {
+		log.Fatalf("nmsim: %v", derr)
+	}
+	w := harness.Workload{
+		N:       *n,
+		Seed:    *seed,
+		Threads: *cores,
+		SP:      units.Bytes(*spMiB) * units.MiB,
+		Dist:    d,
+	}
+	t, err := harness.Table1(w, *dma)
+	if err != nil {
+		log.Fatalf("nmsim: %v", err)
+	}
+	if f == report.Text {
+		fmt.Fprint(os.Stdout, t.String())
+		return
+	}
+	if err := t.Report().Render(os.Stdout, f); err != nil {
+		log.Fatalf("nmsim: %v", err)
+	}
+}

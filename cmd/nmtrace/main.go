@@ -1,0 +1,199 @@
+// Command nmtrace separates the two halves of the co-design pipeline:
+// record an algorithm's memory trace to a file once (expensive: native
+// execution under instrumentation), then replay or inspect it as many
+// times as needed.
+//
+//	nmtrace record -alg nmsort -n 1048576 -cores 256 -sp 4 -o nmsort.trc
+//	nmtrace replay -i nmsort.trc -near 16
+//	nmtrace info   -i nmsort.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  nmtrace record -alg {gnusort|nmsort|nmsort-dma|nmsort-scatter} [-n keys] [-cores n] [-sp MiB] [-seed s] -o file
+  nmtrace replay -i file [-cores n] [-near channels] [-sp MiB]
+  nmtrace info   -i file
+`)
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	alg := fs.String("alg", "nmsort", "algorithm to record")
+	n := fs.Int("n", 1<<20, "keys to sort")
+	cores := fs.Int("cores", 256, "logical threads")
+	spMiB := fs.Int("sp", 4, "scratchpad capacity in MiB")
+	seed := fs.Uint64("seed", 2015, "input seed")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("nmtrace record: -o is required")
+	}
+
+	w := harness.Workload{N: *n, Seed: *seed, Threads: *cores,
+		SP: units.Bytes(*spMiB) * units.MiB}
+	res, err := harness.Record(harness.Algorithm(*alg), w)
+	if err != nil {
+		log.Fatalf("nmtrace record: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("nmtrace record: %v", err)
+	}
+	defer f.Close()
+	nBytes, err := res.Trace.WriteTo(f)
+	if err != nil {
+		log.Fatalf("nmtrace record: writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("nmtrace record: %v", err)
+	}
+	fmt.Printf("recorded %s: %d threads, %d ops, %d bytes (%.1f bits/op)\n",
+		*alg, len(res.Trace.Streams), res.Trace.Ops(), nBytes,
+		8*float64(nBytes)/float64(res.Trace.Ops()))
+	c := res.Counts
+	fmt.Printf("L1-filtered lines: far %d (r %d / w %d), near %d (r %d / w %d), atomics %d\n",
+		c.Far(), c.FarReads, c.FarWrites, c.Near(), c.NearReads, c.NearWrites, c.Atomics)
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("nmtrace: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		log.Fatalf("nmtrace: %v", err)
+	}
+	return tr
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	cores := fs.Int("cores", 0, "simulated cores (0 = trace thread count rounded up to x4)")
+	near := fs.Int("near", 16, "near-memory channels (8/16/32 = 2X/4X/8X)")
+	spMiB := fs.Int("sp", 4, "scratchpad capacity in MiB")
+	phases := fs.Int("phases", 0, "print the N longest inter-barrier phases")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("nmtrace replay: -i is required")
+	}
+	tr := load(*in)
+
+	c := *cores
+	if c == 0 {
+		c = (len(tr.Streams) + 3) / 4 * 4
+	}
+	cfg := harness.NodeFor(c, *near, units.Bytes(*spMiB)*units.MiB)
+	res, err := machine.Run(cfg, tr)
+	if err != nil {
+		log.Fatalf("nmtrace replay: %v", err)
+	}
+	fmt.Printf("node: %d cores, near %dX (%v), far %v\n",
+		cfg.Cores, *near/4, cfg.Near.TotalBandwidth(), cfg.Far.TotalBandwidth())
+	fmt.Printf("sim time:            %v\n", res.SimTime)
+	fmt.Printf("scratchpad accesses: %d\n", res.NearAccesses)
+	fmt.Printf("DRAM accesses:       %d (row-hit rate %.1f%%)\n",
+		res.FarAccesses, 100*res.FarStats.RowHitRate())
+	fmt.Printf("L2: %.1f%% miss rate; utilization far %.1f%% near %.1f%% noc %.1f%%\n",
+		100*res.L2.MissRate(), 100*res.FarUtilization,
+		100*res.NearUtilization, 100*res.NoCUtilization)
+	fmt.Printf("events: %d, barriers: %d\n", res.Events, len(res.BarrierTimes))
+
+	if *phases > 0 && len(res.BarrierTimes) > 0 {
+		type span struct {
+			idx int
+			d   units.Time
+		}
+		spans := make([]span, 0, len(res.BarrierTimes))
+		prev := units.Time(0)
+		for i, bt := range res.BarrierTimes {
+			spans = append(spans, span{idx: i, d: bt - prev})
+			prev = bt
+		}
+		sort.Slice(spans, func(a, b int) bool { return spans[a].d > spans[b].d })
+		if *phases < len(spans) {
+			spans = spans[:*phases]
+		}
+		fmt.Printf("\nlongest inter-barrier phases:\n")
+		for _, sp := range spans {
+			fmt.Printf("  barrier %4d: %12s (%.1f%% of total)\n",
+				sp.idx, sp.d, 100*float64(sp.d)/float64(res.SimTime))
+		}
+	}
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("nmtrace info: -i is required")
+	}
+	tr := load(*in)
+	if err := tr.Validate(); err != nil {
+		log.Fatalf("nmtrace info: invalid trace: %v", err)
+	}
+
+	var kinds [8]uint64
+	var gaps uint64
+	minOps, maxOps := int(^uint(0)>>1), 0
+	for _, s := range tr.Streams {
+		if len(s) < minOps {
+			minOps = len(s)
+		}
+		if len(s) > maxOps {
+			maxOps = len(s)
+		}
+		for _, op := range s {
+			kinds[op.Kind]++
+			gaps += uint64(op.Gap)
+		}
+	}
+	c := tr.Count()
+	fmt.Printf("threads:      %d (ops per thread %d..%d)\n", len(tr.Streams), minOps, maxOps)
+	fmt.Printf("total ops:    %d\n", tr.Ops())
+	fmt.Printf("  accesses:   %d (far %d, near %d)\n", kinds[trace.OpAccess], c.Far(), c.Near())
+	fmt.Printf("  atomics:    %d\n", kinds[trace.OpAtomic])
+	fmt.Printf("  barriers:   %d (%d per thread)\n", kinds[trace.OpBarrier],
+		kinds[trace.OpBarrier]/uint64(len(tr.Streams)))
+	fmt.Printf("  dma:        %d (+%d waits)\n", kinds[trace.OpDMA], kinds[trace.OpDMAWait])
+	fmt.Printf("compute:      %d core cycles total\n", gaps)
+	fmt.Printf("L1 geometry:  %v %d-way, %vB lines\n", tr.L1.Capacity, tr.L1.Ways, int64(tr.L1.LineSize))
+	fmt.Printf("costs:        issue %d, L1 hit %d, compare %d, atomic %d cycles\n",
+		tr.Costs.IssueCycles, tr.Costs.L1HitCycles, tr.Costs.CompareCycles, tr.Costs.AtomicCycles)
+	_ = addr.FarBase
+}

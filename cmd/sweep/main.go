@@ -1,0 +1,90 @@
+// Command sweep regenerates the series behind the paper's Section V
+// claims:
+//
+//	-exp=bandwidth  claim C1 — NMsort's runtime falls as near bandwidth
+//	                rises 2X→8X while the baseline is insensitive to it
+//	-exp=cores      claim C2 — the scratchpad pays off in the memory-bound
+//	                regime (256 cores) and not below it (128 cores)
+//	-exp=dma        experiment A2 — the §VII DMA-engine extension
+//
+// Usage:
+//
+//	sweep -exp=bandwidth [-n keys] [-cores n] [-sp MiB] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp    = flag.String("exp", "bandwidth", "experiment: bandwidth, cores, dma, appends, kmeans")
+		n      = flag.Int("n", 1<<20, "keys to sort")
+		cores  = flag.Int("cores", 256, "simulated cores for the bandwidth/dma sweeps")
+		list   = flag.String("corelist", "64,128,192,256", "core counts for -exp=cores")
+		spMiB  = flag.Int("sp", 8, "scratchpad capacity in MiB")
+		seed   = flag.Uint64("seed", 2015, "input seed")
+		format = flag.String("format", "text", "output format: text, csv, markdown")
+	)
+	flag.Parse()
+	f, ferr := report.ParseFormat(*format)
+	if ferr != nil {
+		log.Fatalf("sweep: %v", ferr)
+	}
+
+	w := harness.Workload{
+		N:       *n,
+		Seed:    *seed,
+		Threads: *cores,
+		SP:      units.Bytes(*spMiB) * units.MiB,
+	}
+
+	var (
+		s   harness.Sweep
+		err error
+	)
+	switch *exp {
+	case "bandwidth":
+		s, err = harness.BandwidthSweep(w)
+	case "cores":
+		var cc []int
+		for _, f := range strings.Split(*list, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(f))
+			if perr != nil || v <= 0 || v%4 != 0 {
+				log.Fatalf("sweep: bad core count %q (must be a positive multiple of 4)", f)
+			}
+			cc = append(cc, v)
+		}
+		s, err = harness.CoreSweep(w, cc)
+	case "dma":
+		s, err = harness.AblationDMA(w, 16)
+	case "appends":
+		s, err = harness.AblationSmallAppends(w, 16)
+	case "kmeans":
+		kw := harness.DefaultKMeans()
+		kw.Th = *cores
+		s, err = harness.KMeansSweep(kw)
+	default:
+		log.Fatalf("sweep: unknown experiment %q", *exp)
+	}
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	if f == report.Text {
+		fmt.Fprint(os.Stdout, s.String())
+		return
+	}
+	if err := s.Report().Render(os.Stdout, f); err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+}

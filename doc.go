@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Two-Level Main
+// Memory Co-Design: Multi-Threaded Algorithmic Primitives, Analysis, and
+// Simulation" (Bender et al., IEEE IPDPS 2015).
+//
+// The paper studies a node whose main memory has two levels side by side —
+// a large, low-bandwidth far DRAM and a small, high-bandwidth near
+// "scratchpad" — and co-designs sorting algorithms with that architecture.
+// This module contains every system the study needs:
+//
+//   - internal/model — the algorithmic scratchpad model (Section II) and
+//     every theorem/corollary's cost function;
+//   - internal/core — the paper's algorithms: the sequential recursive
+//     scratchpad sample sort (Section III), the practical multithreaded
+//     NMsort (Section IV-D), and the GNU-parallel-style multiway mergesort
+//     baseline, plus the shared merging primitives;
+//   - internal/{engine,dram,spmem,noc,cachesim,machine} — a discrete-event
+//     simulator of the Figure 4/5/7 node, standing in for SST + Ariel +
+//     DRAMSim2 + Merlin;
+//   - internal/trace — the record side of the Ariel-style record/replay
+//     pipeline (native execution, L1-filtered memory op streams);
+//   - internal/harness — the experiment drivers that regenerate Table I
+//     and the Section V claims;
+//   - internal/kmeans — the §VII scratchpad k-means extension.
+//
+// The benchmarks in this directory regenerate every quantitative result in
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured comparisons.
+package repro

@@ -1,0 +1,68 @@
+// Codesign closes the paper's loop from measurement to hardware guidance:
+// it records both sorting algorithms, measures their traffic profile on
+// the simulated node, feeds the profile into the bandwidth-bound model,
+// and prints the numbers the paper's conclusion says should "guide vendors
+// in the design of future scratchpad-based systems" — the minimum useful
+// bandwidth expansion ρ* and the core count where sorting turns
+// memory-bound.
+//
+//	go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	w := harness.Workload{N: 1 << 17, Seed: 7, Threads: 64, SP: units.MiB}
+
+	fmt.Printf("measuring traffic profiles on the simulated node...\n")
+	gnu, err := harness.Record(harness.AlgGNUSort, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nm, err := harness.Record(harness.AlgNMSort, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gres, err := machine.Run(harness.NodeFor(w.Threads, 8, w.SP), gnu.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nres, err := machine.Run(harness.NodeFor(w.Threads, 8, w.SP), nm.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile := model.TrafficProfile{
+		BaseFar: float64(gres.FarAccesses),
+		NMFar:   float64(nres.FarAccesses),
+		NMNear:  float64(nres.NearAccesses),
+	}
+	fmt.Printf("\nmeasured device accesses (N=%d keys, %d cores):\n", w.N, w.Threads)
+	fmt.Printf("  baseline far:  %.0f\n", profile.BaseFar)
+	fmt.Printf("  NMsort far:    %.0f\n", profile.NMFar)
+	fmt.Printf("  NMsort near:   %.0f\n", profile.NMNear)
+	if !profile.Valid() {
+		log.Fatal("profile cannot favor the scratchpad; nothing to design for")
+	}
+
+	fmt.Printf("\nbandwidth-bound co-design guidance from this profile:\n")
+	fmt.Printf("  minimum useful expansion rho* = %.2f\n", profile.MinRho())
+	for _, rho := range []float64{2, 4, 8} {
+		fmt.Printf("  predicted NMsort speedup at %.0fX = %.2fx\n", rho, profile.Speedup(rho))
+	}
+	fmt.Printf("  ceiling as rho -> inf         = %.2fx\n", profile.AsymptoticSpeedup())
+
+	// And the compute side: when does the node become memory-bound at all?
+	min := model.MinCoresForMemoryBound(1.7e9, 16, 8e9, 8, 1e6)
+	fmt.Printf("\nSection V-A: sorting is memory-bandwidth bound from ~%d cores up;\n", min)
+	fmt.Printf("below that, extra near-memory bandwidth is wasted on this workload.\n")
+}

@@ -1,0 +1,200 @@
+// Package cachesim provides a set-associative, write-back, write-allocate
+// cache model with true LRU replacement. It is used twice in the
+// simulation pipeline:
+//
+//   - as the per-core private L1 (16KB-class, 2-way) that filters the raw
+//     access stream at trace-record time, playing the role Ariel's cache
+//     components play in the paper's SST configuration (Figure 5), and
+//   - as the shared per-group L2 (512KB-class, 16-way) simulated at replay
+//     time, where the interleaving of the four cores in a group determines
+//     its contents.
+//
+// The model tracks tags only: data values live in the native Go arrays the
+// algorithms operate on, so the cache decides *timing and traffic*, never
+// correctness.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Result describes the consequence of one cache access.
+type Result struct {
+	Hit       bool
+	Writeback uint64 // line address of the dirty victim; valid when HasWB
+	HasWB     bool   // a dirty line was evicted and must be written back
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses over total accesses (0 for no accesses).
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type way struct {
+	tag   uint64 // line address; valid bit folded in via valid flag
+	valid bool
+	dirty bool
+	used  uint64 // global LRU clock value at last touch
+}
+
+// Cache is a single set-associative cache. Not safe for concurrent use;
+// each L1 belongs to one recording thread and the L2s are touched only from
+// the single-threaded event loop.
+type Cache struct {
+	lineSize  uint64
+	setMask   uint64
+	setShift  uint
+	ways      int
+	sets      [][]way
+	clock     uint64
+	stats     Stats
+	capacity  units.Bytes
+	setsCount int
+}
+
+// New builds a cache of the given capacity, line size, and associativity.
+// Capacity must be ways*lineSize*2^k for some k ≥ 0.
+func New(capacity, lineSize units.Bytes, ways int) *Cache {
+	if capacity <= 0 || lineSize <= 0 || ways <= 0 {
+		panic("cachesim: non-positive geometry")
+	}
+	if uint64(lineSize)&(uint64(lineSize)-1) != 0 {
+		panic("cachesim: line size must be a power of two")
+	}
+	lines := int64(capacity) / int64(lineSize)
+	sets := lines / int64(ways)
+	if sets <= 0 || sets*int64(ways)*int64(lineSize) != int64(capacity) {
+		panic(fmt.Sprintf("cachesim: capacity %v not divisible into %d-way sets of %v lines",
+			capacity, ways, lineSize))
+	}
+	if uint64(sets)&(uint64(sets)-1) != 0 {
+		panic("cachesim: set count must be a power of two")
+	}
+	var shift uint
+	for l := uint64(lineSize); l > 1; l >>= 1 {
+		shift++
+	}
+	c := &Cache{
+		lineSize:  uint64(lineSize),
+		setMask:   uint64(sets) - 1,
+		setShift:  shift,
+		ways:      ways,
+		sets:      make([][]way, sets),
+		capacity:  capacity,
+		setsCount: int(sets),
+	}
+	backing := make([]way, int(sets)*ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return c
+}
+
+// Access performs one access to the line containing addr. write marks the
+// line dirty (write-allocate). The returned Result reports hit/miss and any
+// dirty victim the caller must write back toward memory.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	line := addr &^ (c.lineSize - 1)
+	set := c.sets[(line>>c.setShift)&c.setMask]
+	c.clock++
+
+	// Hit path.
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].used = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: find an invalid way or the LRU victim.
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+fill:
+	res := Result{}
+	if set[victim].valid && set[victim].dirty {
+		res.HasWB = true
+		res.Writeback = set[victim].tag
+		c.stats.Writebacks++
+	}
+	set[victim] = way{tag: line, valid: true, dirty: write, used: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is currently cached,
+// without perturbing LRU state. Used by tests.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr &^ (c.lineSize - 1)
+	set := c.sets[(line>>c.setShift)&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDirty returns the addresses of all dirty lines and marks them clean.
+// Used at the end of a recorded phase to account for the final writeback
+// wave (the paper's sorted chunks "scheduled for transfer back to DRAM").
+func (c *Cache) FlushDirty() []uint64 {
+	var out []uint64
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				out = append(out, set[i].tag)
+				set[i].dirty = false
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return out
+}
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.stats = Stats{}
+	c.clock = 0
+}
+
+// Stats returns a copy of the access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineSize returns the cache's line size in bytes.
+func (c *Cache) LineSize() units.Bytes { return units.Bytes(c.lineSize) }
+
+// Capacity returns the cache's total data capacity.
+func (c *Cache) Capacity() units.Bytes { return c.capacity }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return c.setsCount }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// GNUOptions tunes the baseline sort.
+type GNUOptions struct {
+	// Exact uses exact multisequence selection for the merge splitters
+	// (GNU parallel mode's _GLIBCXX... exact-splitting variant) instead of
+	// the default sampling strategy.
+	Exact bool
+}
+
+// GNUSort sorts a in place using the paper's baseline: a GNU-parallel-style
+// multiway mergesort (MCSTL) that uses only far memory. Each of the p
+// threads sorts a static span into a run, the runs are cooperatively merged
+// along sampled splitters into a far-memory buffer, and the result is
+// copied back — the structure of __gnu_parallel::sort with the sampling
+// splitter strategy.
+//
+// This is "the fastest CPU-based multithreaded sort" of Section V and the
+// comparison column of Table I; it never touches the scratchpad.
+func GNUSort(e *Env, a trace.U64) { GNUSortOpt(e, a, GNUOptions{}) }
+
+// GNUSortOpt is GNUSort with explicit options.
+func GNUSortOpt(e *Env, a trace.U64, opt GNUOptions) {
+	n := a.Len()
+	if n <= 1 {
+		return
+	}
+	buf := e.AllocFar(n)
+	sample := e.AllocFar(SampleLen(e.P))
+	sampleTmp := e.AllocFar(SampleLen(e.P))
+
+	// Dst aliases Tmp: run formation scratch is dead before merging.
+	bar := par.NewBarrier(e.P)
+	ps := NewPMSort(e.P, a, buf, buf, sample, sampleTmp, bar)
+	ps.exact = opt.Exact
+	par.RunPoison(e.P, e.Rec, bar, func(tid int, tp *trace.TP) {
+		ps.Run(tid, tp)
+		// Copy the merged result back so the sort is in-place for the
+		// caller, as __gnu_parallel::sort is.
+		lo, hi := par.Span(n, e.P, tid)
+		trace.Copy(tp, a.Slice(lo, hi), buf.Slice(lo, hi))
+	})
+}

@@ -1,0 +1,167 @@
+// Package dram models the far (capacity) memory of the two-level system —
+// the role DRAMSim2 plays in the paper's SST configuration. It captures
+// the properties the co-design study depends on: a small number of
+// channels, each with a bounded data bus, and bank/row-buffer state that
+// makes access latency depend on locality (row hit vs row miss vs row
+// conflict, with DDR-1066-derived timing).
+//
+// Requests are serviced per channel in arrival order (FCFS) with an
+// open-page row-buffer policy. The event loop's deterministic ordering
+// makes the whole device deterministic.
+package dram
+
+import (
+	"repro/internal/addr"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// Config describes a far-memory device.
+type Config struct {
+	Channels  int                  // independent channels, line-interleaved
+	Banks     int                  // banks per channel
+	RowBytes  units.Bytes          // row-buffer size
+	LineSize  units.Bytes          // transfer granularity (cache line)
+	ChannelBW units.BytesPerSecond // per-channel data-bus bandwidth
+	TCas      units.Time           // column access (row already open)
+	TRcd      units.Time           // row activate
+	TRp       units.Time           // precharge (row conflict adds this)
+}
+
+// DDR1066 returns the paper's far-memory configuration (Figure 4): a
+// 1066MHz DDR part with the given number of channels. Per-channel peak is
+// 1066 MT/s x 8 bytes ≈ 8.5 GB/s; the paper uses 4 channels.
+func DDR1066(channels int) Config {
+	return Config{
+		Channels:  channels,
+		Banks:     8,
+		RowBytes:  8 * units.KiB,
+		LineSize:  64,
+		ChannelBW: units.BytesPerSecond(1066e6 * 8),
+		TCas:      13 * units.Nanosecond,
+		TRcd:      13 * units.Nanosecond,
+		TRp:       13 * units.Nanosecond,
+	}
+}
+
+// TotalBandwidth returns the aggregate peak bandwidth across channels.
+func (c Config) TotalBandwidth() units.BytesPerSecond {
+	return c.ChannelBW * units.BytesPerSecond(c.Channels)
+}
+
+type bank struct {
+	openRow uint64
+	open    bool
+}
+
+type channel struct {
+	bus   *engine.Resource
+	banks []bank
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+}
+
+// Accesses returns total device requests.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	t := s.Accesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Device is a far-memory instance attached to a simulation.
+type Device struct {
+	cfg      Config
+	base     addr.Addr
+	channels []channel
+	stats    Stats
+}
+
+// New builds a device servicing the window starting at base.
+func New(sim *engine.Sim, cfg Config, base addr.Addr) *Device {
+	if cfg.Channels <= 0 || cfg.Banks <= 0 {
+		panic("dram: need at least one channel and bank")
+	}
+	d := &Device{cfg: cfg, base: base, channels: make([]channel, cfg.Channels)}
+	for i := range d.channels {
+		d.channels[i] = channel{
+			bus:   engine.NewResource(sim, cfg.ChannelBW),
+			banks: make([]bank, cfg.Banks),
+		}
+	}
+	return d
+}
+
+// Access services one line transfer arriving at time at and returns its
+// completion time. The request experiences the bank's row-buffer latency
+// followed by the channel data-bus occupancy.
+func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
+	off := uint64(a - d.base)
+	line := off / uint64(d.cfg.LineSize)
+	ch := &d.channels[line%uint64(len(d.channels))]
+	row := off / uint64(d.cfg.RowBytes)
+	bk := &ch.banks[row%uint64(d.cfg.Banks)]
+
+	var lat units.Time
+	switch {
+	case bk.open && bk.openRow == row:
+		lat = d.cfg.TCas
+		d.stats.RowHits++
+	case bk.open:
+		lat = d.cfg.TRp + d.cfg.TRcd + d.cfg.TCas
+		d.stats.RowConflicts++
+	default:
+		lat = d.cfg.TRcd + d.cfg.TCas
+		d.stats.RowMisses++
+	}
+	bk.open, bk.openRow = true, row
+
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	return ch.bus.AcquireAt(at+lat, d.cfg.LineSize)
+}
+
+// BulkAcquire reserves channel bandwidth for n bytes spread evenly across
+// all channels starting at time at, returning when the slowest channel
+// finishes. Used by the DMA engines, which stream large extents without
+// per-line commands.
+func (d *Device) BulkAcquire(at units.Time, n units.Bytes) units.Time {
+	per := units.Bytes(units.CeilDiv(int64(n), int64(len(d.channels))))
+	var done units.Time
+	for i := range d.channels {
+		if t := d.channels[i].bus.AcquireAt(at+d.cfg.TRcd+d.cfg.TCas, per); t > done {
+			done = t
+		}
+	}
+	d.stats.Reads += uint64(units.CeilDiv(int64(n), int64(d.cfg.LineSize)))
+	return done
+}
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Utilization returns the mean data-bus utilization across channels.
+func (d *Device) Utilization() float64 {
+	var u float64
+	for i := range d.channels {
+		u += d.channels[i].bus.Utilization()
+	}
+	return u / float64(len(d.channels))
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }

@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// TestAccessCompletionMonotone: for requests arriving in non-decreasing
+// time order, completions never precede arrivals and per-channel service
+// is work-conserving (completion >= arrival + minimal latency).
+func TestAccessCompletionMonotone(t *testing.T) {
+	f := func(offsets []uint32) bool {
+		s := engine.New()
+		d := New(s, DDR1066(4), addr.FarBase)
+		cfg := d.Config()
+		minLat := cfg.TCas + cfg.ChannelBW.TransferTime(cfg.LineSize)
+		at := units.Time(0)
+		for i, off := range offsets {
+			at += units.Time(off % 1000)
+			done := d.Access(at, addr.FarBase+addr.Addr(off%(1<<24))*64, i%4 == 0)
+			if done < at+minLat {
+				t.Logf("request %d: done %v < arrival %v + min %v", i, done, at, minLat)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsConservation: hits + misses + conflicts == accesses.
+func TestStatsConservation(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := engine.New()
+		d := New(s, DDR1066(2), addr.FarBase)
+		for i, off := range offsets {
+			d.Access(units.Time(i)*100, addr.FarBase+addr.Addr(off)*64, false)
+		}
+		st := d.Stats()
+		return st.RowHits+st.RowMisses+st.RowConflicts == st.Accesses()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreChannelsNeverSlower: the same request stream on a device with
+// more channels finishes no later.
+func TestMoreChannelsNeverSlower(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		run := func(channels int) units.Time {
+			s := engine.New()
+			d := New(s, DDR1066(channels), addr.FarBase)
+			var last units.Time
+			for _, off := range offsets {
+				if done := d.Access(0, addr.FarBase+addr.Addr(off)*64, false); done > last {
+					last = done
+				}
+			}
+			return last
+		}
+		return run(8) <= run(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowHitRateZeroOnEmpty(t *testing.T) {
+	var st Stats
+	if st.RowHitRate() != 0 {
+		t.Error("empty stats should report 0 hit rate")
+	}
+}

@@ -1,0 +1,123 @@
+// Package engine is the discrete-event simulation kernel underneath the
+// machine model — the role SST's core plays in the paper's experimental
+// setup. It provides a single global event queue ordered by simulated time
+// with deterministic FIFO tie-breaking, so that a given component graph and
+// input trace always produce bit-identical results.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func()
+
+type item struct {
+	at  units.Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h eventHeap) Peek() (item, bool) { // valid only when non-empty
+	if len(h) == 0 {
+		return item{}, false
+	}
+	return h[0], true
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; use New.
+type Sim struct {
+	now    units.Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() units.Time { return s.now }
+
+// At schedules fn to run at absolute simulated time t. Scheduling into the
+// past panics: it would silently violate causality.
+func (s *Sim) At(t units.Time, fn Event) {
+	if t < s.now {
+		panic(fmt.Sprintf("engine: scheduling at %v, before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, item{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d units.Time, fn Event) {
+	if d < 0 {
+		panic("engine: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (s *Sim) Run() units.Time {
+	for len(s.events) > 0 {
+		it := heap.Pop(&s.events).(item)
+		s.now = it.at
+		s.nRun++
+		it.fn()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns true if
+// the queue drained, false if events at later times remain.
+func (s *Sim) RunUntil(deadline units.Time) bool {
+	for {
+		head, ok := s.events.Peek()
+		if !ok {
+			return true
+		}
+		if head.at > deadline {
+			return false
+		}
+		it := heap.Pop(&s.events).(item)
+		s.now = it.at
+		s.nRun++
+		it.fn()
+	}
+}
+
+// Step executes exactly one event; it reports false when none remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.events).(item)
+	s.now = it.at
+	s.nRun++
+	it.fn()
+	return true
+}
+
+// Pending returns the number of scheduled events not yet executed.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Executed returns the total number of events run, a cheap progress and
+// complexity metric for simulations.
+func (s *Sim) Executed() uint64 { return s.nRun }

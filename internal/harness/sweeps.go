@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// SweepPoint is one (configuration, result) pair of a sweep.
+type SweepPoint struct {
+	Label  string
+	Cores  int
+	Rho    float64
+	Result machine.Result
+}
+
+// Sweep is a labelled series of simulation results.
+type Sweep struct {
+	Title  string
+	Points []SweepPoint
+}
+
+// Report converts the sweep into a renderable table (text/CSV/markdown).
+func (s Sweep) Report() *report.Table {
+	t := report.New(s.Title, "config", "cores", "rho", "sim_time", "near_acc", "far_acc", "far_util", "near_util")
+	for _, p := range s.Points {
+		t.AddRowf(p.Label, p.Cores, p.Rho, p.Result.SimTime.String(),
+			p.Result.NearAccesses, p.Result.FarAccesses,
+			fmt.Sprintf("%.3f", p.Result.FarUtilization),
+			fmt.Sprintf("%.3f", p.Result.NearUtilization))
+	}
+	return t
+}
+
+// String renders the sweep as an aligned series.
+func (s Sweep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	fmt.Fprintf(&b, "%-24s %8s %6s %14s %14s %14s %8s %8s\n",
+		"config", "cores", "rho", "sim time", "near acc", "far acc", "farU", "nearU")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-24s %8d %6.1f %14s %14d %14d %7.1f%% %7.1f%%\n",
+			p.Label, p.Cores, p.Rho, p.Result.SimTime,
+			p.Result.NearAccesses, p.Result.FarAccesses,
+			100*p.Result.FarUtilization, 100*p.Result.NearUtilization)
+	}
+	return b.String()
+}
+
+// BandwidthSweep reproduces claim C1 (§I-A: "a linear reduction in running
+// time ... when increasing the bandwidth from two to eight times"): NMsort
+// replayed at 2X/4X/8X near bandwidth, plus the ρ-insensitive baseline.
+func BandwidthSweep(w Workload) (Sweep, error) {
+	s := Sweep{Title: fmt.Sprintf("Bandwidth sweep, N=%d keys, %d cores", w.N, w.Threads)}
+
+	gnu, err := Record(AlgGNUSort, w)
+	if err != nil {
+		return s, err
+	}
+	nm, err := Record(AlgNMSort, w)
+	if err != nil {
+		return s, err
+	}
+	for _, ch := range []int{8, 16, 32} {
+		cfg := NodeFor(w.Threads, ch, w.SP)
+		gres, err := machine.Run(cfg, gnu.Trace)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label: fmt.Sprintf("gnusort@%dX", ch/4), Cores: w.Threads,
+			Rho: cfg.BandwidthExpansion(), Result: gres,
+		})
+		nres, err := machine.Run(NodeFor(w.Threads, ch, w.SP), nm.Trace)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label: fmt.Sprintf("nmsort@%dX", ch/4), Cores: w.Threads,
+			Rho: cfg.BandwidthExpansion(), Result: nres,
+		})
+	}
+	return s, nil
+}
+
+// CoreSweep reproduces claim C2 (§V: "sorting is memory bound if the
+// number of cores is 256 and not memory bound when that number is reduced
+// to 128"): both algorithms at 8X bandwidth across core counts. In the
+// memory-bound regime NMsort wins; below it the scratchpad buys little.
+func CoreSweep(w Workload, coreCounts []int) (Sweep, error) {
+	s := Sweep{Title: fmt.Sprintf("Core-count sweep, N=%d keys, 8X near bandwidth", w.N)}
+	for _, cores := range coreCounts {
+		cw := w
+		cw.Threads = cores
+		gnu, err := Record(AlgGNUSort, cw)
+		if err != nil {
+			return s, err
+		}
+		nm, err := Record(AlgNMSort, cw)
+		if err != nil {
+			return s, err
+		}
+		gres, err := machine.Run(NodeFor(cores, 32, w.SP), gnu.Trace)
+		if err != nil {
+			return s, err
+		}
+		nres, err := machine.Run(NodeFor(cores, 32, w.SP), nm.Trace)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points,
+			SweepPoint{Label: "gnusort", Cores: cores, Rho: 8, Result: gres},
+			SweepPoint{Label: "nmsort", Cores: cores, Rho: 8, Result: nres},
+		)
+	}
+	return s, nil
+}
+
+// AblationSmallAppends compares NMsort against the scattered
+// per-bucket-append variant the paper abandoned (experiment A1). Both
+// variants run with the paper's Θ(M/B) bucket count, where the average
+// (chunk, bucket) segment is a handful of elements — the regime in which
+// "these appends can be inefficient".
+func AblationSmallAppends(w Workload, nearChannels int) (Sweep, error) {
+	if w.Buckets == 0 {
+		w.Buckets = int(w.SP / 256) // Θ(M/B) with a modest constant
+		if w.Buckets < 16 {
+			w.Buckets = 16
+		}
+	}
+	s := Sweep{Title: fmt.Sprintf("Small-appends ablation, N=%d keys, %d cores, %dX, %d buckets", w.N, w.Threads, nearChannels/4, w.Buckets)}
+	for _, alg := range []Algorithm{AlgNMSort, AlgNMScatter} {
+		r, err := Record(alg, w)
+		if err != nil {
+			return s, err
+		}
+		res, err := machine.Run(NodeFor(w.Threads, nearChannels, w.SP), r.Trace)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4, Result: res,
+		})
+	}
+	return s, nil
+}
+
+// AblationDMA compares NMsort with and without the §VII DMA engines at the
+// given bandwidth expansion (experiment A2).
+func AblationDMA(w Workload, nearChannels int) (Sweep, error) {
+	s := Sweep{Title: fmt.Sprintf("DMA ablation, N=%d keys, %d cores, %dX", w.N, w.Threads, nearChannels/4)}
+	for _, alg := range []Algorithm{AlgNMSort, AlgNMSortDM} {
+		r, err := Record(alg, w)
+		if err != nil {
+			return s, err
+		}
+		res, err := machine.Run(NodeFor(w.Threads, nearChannels, w.SP), r.Trace)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4, Result: res,
+		})
+	}
+	return s, nil
+}

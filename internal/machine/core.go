@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// core replays one thread's op stream as an in-order issue processor with
+// miss-level parallelism: compute gaps advance time, line fills are issued
+// without blocking until MaxOutstanding are in flight, writebacks post,
+// barriers and atomics drain outstanding misses first, DMA descriptors hand
+// off to the background engine.
+type core struct {
+	m      *Machine
+	id     int
+	group  int
+	stream []trace.Op
+	pc     int
+	period units.Time
+
+	gapDone   bool // the current op's leading gap has been consumed
+	inflight  int  // outstanding line fills
+	stallFull bool // stalled because all MSHR slots are busy
+	draining  bool // stalled until inflight drains to zero
+	dmaOut    int  // outstanding DMA copies issued by this core
+	dmaWait   bool
+	done      bool
+}
+
+// run advances the core from the current simulated time. It either
+// processes ops until it must wait or finishes the stream.
+func (c *core) run() {
+	for c.pc < len(c.stream) {
+		op := c.stream[c.pc]
+
+		// Consume the op's leading compute gap exactly once.
+		if !c.gapDone && op.Gap > 0 {
+			c.gapDone = true
+			c.m.sim.After(units.Time(op.Gap)*c.period, c.run)
+			return
+		}
+
+		switch op.Kind {
+		case trace.OpGap:
+			// Pure compute carrier; the gap was consumed above.
+			c.next()
+
+		case trace.OpAccess:
+			if op.Write {
+				// Posted writeback: occupies the L2 port but the core
+				// continues immediately.
+				c.m.writeback(c.group, addr.Addr(op.Addr))
+				c.next()
+				continue
+			}
+			if c.inflight >= c.m.cfg.MaxOutstanding {
+				c.stallFull = true
+				return // fillDone resumes us without advancing pc
+			}
+			done := c.m.fill(c.group, addr.Addr(op.Addr))
+			c.inflight++
+			c.m.sim.At(done, c.fillDone)
+			c.next()
+
+		case trace.OpAtomic:
+			if !c.drained() {
+				return
+			}
+			done := c.m.atomic(c.group, addr.Addr(op.Addr))
+			c.next()
+			if done > c.m.sim.Now() {
+				c.m.sim.At(done, c.run)
+				return
+			}
+
+		case trace.OpBarrier:
+			if !c.drained() {
+				return
+			}
+			c.next()
+			c.m.barrier.arrive(c)
+			return
+
+		case trace.OpDMA:
+			c.dmaOut++
+			c.m.dma.enqueue(c, addr.Addr(op.Addr), addr.Addr(op.Addr2), units.Bytes(op.Size))
+			c.next()
+
+		case trace.OpDMAWait:
+			if c.dmaOut > 0 {
+				c.dmaWait = true
+				c.next()
+				return // dmaEngine resumes us when the last copy lands
+			}
+			c.next()
+
+		case trace.OpEnd:
+			if !c.drained() {
+				return
+			}
+			c.done = true
+			c.pc++
+			return
+
+		default:
+			panic(fmt.Sprintf("machine: core %d hit unknown op kind %d", c.id, op.Kind))
+		}
+	}
+}
+
+// drained reports whether all outstanding fills have landed, arranging to
+// resume at the drain point if not. Ordering points (atomics, barriers,
+// stream end) call this before proceeding.
+func (c *core) drained() bool {
+	if c.inflight == 0 {
+		return true
+	}
+	c.draining = true
+	return false
+}
+
+// fillDone retires one outstanding fill and wakes the core if it was
+// stalled on a full MSHR or draining.
+func (c *core) fillDone() {
+	c.inflight--
+	if c.stallFull {
+		c.stallFull = false
+		c.run()
+		return
+	}
+	if c.draining && c.inflight == 0 {
+		c.draining = false
+		c.run()
+	}
+}
+
+func (c *core) next() {
+	c.pc++
+	c.gapDone = false
+}
+
+// barrierCtl synchronizes the replaying cores at recorded barrier points
+// and logs each release time (the algorithm's phase boundaries).
+type barrierCtl struct {
+	need     int
+	waiting  []*core
+	releases []units.Time
+}
+
+func (b *barrierCtl) arrive(c *core) {
+	b.waiting = append(b.waiting, c)
+	if len(b.waiting) < b.need {
+		return
+	}
+	released := b.waiting
+	b.waiting = nil
+	b.releases = append(b.releases, c.m.sim.Now())
+	for _, w := range released {
+		w := w
+		c.m.sim.At(c.m.sim.Now(), w.run)
+	}
+}
+
+// dmaEngine streams bulk copies between the memory devices in the
+// background — the paper's §VII future-work extension. A copy occupies
+// bandwidth on both the source and destination devices; its completion is
+// bounded by the slower side. Copies from different cores proceed
+// concurrently (each device's channel resources serialize as needed).
+type dmaEngine struct {
+	m      *Machine
+	issued uint64
+	bytes  uint64
+}
+
+func (d *dmaEngine) enqueue(c *core, src, dst addr.Addr, n units.Bytes) {
+	d.issued++
+	d.bytes += uint64(n)
+	now := d.m.sim.Now()
+	var read, write units.Time
+	if addr.LevelOf(src) == addr.Near {
+		read = d.m.near.BulkAcquire(now, n)
+	} else {
+		read = d.m.far.BulkAcquire(now, n)
+	}
+	if addr.LevelOf(dst) == addr.Near {
+		write = d.m.near.BulkAcquire(now, n)
+	} else {
+		write = d.m.far.BulkAcquire(now, n)
+	}
+	done := read
+	if write > done {
+		done = write
+	}
+	d.m.sim.At(done, func() {
+		c.dmaOut--
+		if c.dmaWait && c.dmaOut == 0 {
+			c.dmaWait = false
+			c.run()
+		}
+	})
+}

@@ -1,0 +1,286 @@
+// Package machine assembles the whole simulated node of the paper's
+// Figures 4, 5, and 7 — cores in quad-core groups with shared L2s, an
+// on-chip network, a far DDR memory, a near scratchpad memory, optional
+// DMA engines — and replays recorded traces through it.
+//
+// Replay is the second half of the Ariel-style pipeline: internal/trace
+// records each thread's L1-filtered memory operations once; Replay runs
+// those identical streams against any memory configuration, which is how
+// the 2X/4X/8X near-memory experiments of Table I are produced.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cachesim"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/noc"
+	"repro/internal/spmem"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Config describes one node. Zero values are invalid; start from
+// PaperConfig or TinyConfig and adjust.
+type Config struct {
+	Cores         int
+	CoresPerGroup int
+	CoreHz        units.Hz
+
+	L2Capacity units.Bytes
+	L2Ways     int
+	L2Latency  units.Time
+	L2BW       units.BytesPerSecond // L2 port service bandwidth per group
+	LineSize   units.Bytes
+
+	// MaxOutstanding is the per-core miss-level parallelism: how many line
+	// fills may be in flight before the core stalls (MSHR depth plus the
+	// effect of hardware prefetch on streaming code). Without it a core's
+	// demand bandwidth would be capped at one line per round-trip latency
+	// and no bandwidth experiment could saturate the channels.
+	MaxOutstanding int
+
+	NoC  noc.Config   // Groups is filled in from Cores/CoresPerGroup
+	Far  dram.Config  // far (capacity) memory
+	Near spmem.Config // near (scratchpad) memory
+}
+
+// PaperConfig returns the Figure 4 node: 256 cores at 1.7GHz in quad-core
+// groups, 512KB 16-way shared L2 per group, 72GB/s group links with 20ns
+// NoC latency, 4-channel DDR-1066 far memory, and a near memory with the
+// given channel count (8, 16, 32 → bandwidth expansion 2X, 4X, 8X) and
+// capacity.
+func PaperConfig(nearChannels int, nearCapacity units.Bytes) Config {
+	return Config{
+		Cores:          256,
+		CoresPerGroup:  4,
+		CoreHz:         units.Hz(1.7e9),
+		L2Capacity:     512 * units.KiB,
+		L2Ways:         16,
+		L2Latency:      10 * units.Nanosecond,
+		L2BW:           units.GBps(64),
+		LineSize:       64,
+		MaxOutstanding: 4,
+		NoC:            noc.Paper(64),
+		Far:            dram.DDR1066(4),
+		Near:           spmem.Paper(nearChannels, nearCapacity),
+	}
+}
+
+// TinyConfig returns a scaled-down node for fast tests: 8 cores in groups
+// of 4 with small caches, one far channel, and a near memory with the given
+// channels.
+func TinyConfig(nearChannels int, nearCapacity units.Bytes) Config {
+	cfg := Config{
+		Cores:          8,
+		CoresPerGroup:  4,
+		CoreHz:         units.Hz(1.7e9),
+		L2Capacity:     16 * units.KiB,
+		L2Ways:         4,
+		L2Latency:      10 * units.Nanosecond,
+		L2BW:           units.GBps(64),
+		LineSize:       64,
+		MaxOutstanding: 4,
+		NoC:            noc.Paper(2),
+		Far:            dram.DDR1066(1),
+		Near:           spmem.Paper(nearChannels, nearCapacity),
+	}
+	return cfg
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.CoresPerGroup <= 0:
+		return fmt.Errorf("machine: bad core counts %d/%d", c.Cores, c.CoresPerGroup)
+	case c.Cores%c.CoresPerGroup != 0:
+		return fmt.Errorf("machine: %d cores not divisible into groups of %d", c.Cores, c.CoresPerGroup)
+	case c.NoC.Groups != c.Cores/c.CoresPerGroup:
+		return fmt.Errorf("machine: NoC has %d endpoints, want %d groups", c.NoC.Groups, c.Cores/c.CoresPerGroup)
+	case c.LineSize != c.Far.LineSize || c.LineSize != c.Near.LineSize:
+		return fmt.Errorf("machine: line size mismatch across levels")
+	case c.CoreHz <= 0:
+		return fmt.Errorf("machine: bad core clock")
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("machine: MaxOutstanding must be positive")
+	}
+	return nil
+}
+
+// BandwidthExpansion returns ρ: near aggregate bandwidth over far aggregate
+// bandwidth.
+func (c Config) BandwidthExpansion() float64 {
+	return float64(c.Near.TotalBandwidth()) / float64(c.Far.TotalBandwidth())
+}
+
+// Result summarizes one replay.
+type Result struct {
+	SimTime units.Time // time at which the last event drained
+
+	FarAccesses  uint64 // far-memory device requests (Table I "DRAM Accesses")
+	NearAccesses uint64 // near-memory device requests (Table I "Scratchpad Accesses")
+
+	FarStats  dram.Stats
+	NearStats spmem.Stats
+	L2        cachesim.Stats // aggregated over groups
+
+	FarUtilization  float64
+	NearUtilization float64
+	NoCUtilization  float64
+
+	DMACopies uint64 // background DMA transfers completed
+	DMABytes  uint64 // bytes moved by DMA engines
+
+	Events uint64 // discrete events executed (simulation effort)
+
+	// BarrierTimes records the simulated time of every global barrier
+	// release, in order — the phase boundaries of the replayed algorithm.
+	// Inter-barrier deltas attribute sim time to algorithm phases.
+	BarrierTimes []units.Time
+}
+
+// Machine is an instantiated node ready to replay one trace. Machines are
+// single-use: build a fresh one per replay so cache and bank state never
+// leaks between experiments.
+type Machine struct {
+	cfg     Config
+	sim     *engine.Sim
+	l2      []*cachesim.Cache
+	l2bus   []*engine.Resource
+	nw      *noc.Network
+	far     *dram.Device
+	near    *spmem.Device
+	dma     *dmaEngine
+	barrier *barrierCtl
+	cores   []*core
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sim := engine.New()
+	groups := cfg.Cores / cfg.CoresPerGroup
+	m := &Machine{
+		cfg:   cfg,
+		sim:   sim,
+		l2:    make([]*cachesim.Cache, groups),
+		l2bus: make([]*engine.Resource, groups),
+		nw:    noc.New(sim, cfg.NoC),
+		far:   dram.New(sim, cfg.Far, addr.FarBase),
+		near:  spmem.New(sim, cfg.Near, addr.NearBase),
+	}
+	for g := 0; g < groups; g++ {
+		m.l2[g] = cachesim.New(cfg.L2Capacity, cfg.LineSize, cfg.L2Ways)
+		m.l2bus[g] = engine.NewResource(sim, cfg.L2BW)
+	}
+	m.dma = &dmaEngine{m: m}
+	return m
+}
+
+// Replay runs the trace to completion and returns the result. The trace
+// must have at most Config.Cores threads; thread i runs on core i.
+func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(tr.Streams) > m.cfg.Cores {
+		return Result{}, fmt.Errorf("machine: trace has %d threads but machine has %d cores",
+			len(tr.Streams), m.cfg.Cores)
+	}
+	if m.cores != nil {
+		return Result{}, fmt.Errorf("machine: machines are single-use; build a new one per replay")
+	}
+	m.barrier = &barrierCtl{need: len(tr.Streams)}
+	m.cores = make([]*core, len(tr.Streams))
+	period := m.cfg.CoreHz.Period()
+	for i, s := range tr.Streams {
+		c := &core{m: m, id: i, group: i / m.cfg.CoresPerGroup, stream: s, period: period}
+		m.cores[i] = c
+		m.sim.At(0, c.run)
+	}
+	end := m.sim.Run()
+
+	var res Result
+	res.SimTime = end
+	res.FarStats = m.far.Stats()
+	res.NearStats = m.near.Stats()
+	res.FarAccesses = res.FarStats.Accesses()
+	res.NearAccesses = res.NearStats.Accesses()
+	for _, l2 := range m.l2 {
+		s := l2.Stats()
+		res.L2.Hits += s.Hits
+		res.L2.Misses += s.Misses
+		res.L2.Writebacks += s.Writebacks
+	}
+	res.FarUtilization = m.far.Utilization()
+	res.NearUtilization = m.near.Utilization()
+	res.NoCUtilization = m.nw.Utilization()
+	res.DMACopies = m.dma.issued
+	res.DMABytes = m.dma.bytes
+	res.Events = m.sim.Executed()
+	res.BarrierTimes = m.barrier.releases
+	return res, nil
+}
+
+// Run is a convenience wrapper: build a machine from cfg and replay tr.
+func Run(cfg Config, tr *trace.Trace) (Result, error) {
+	return New(cfg).Replay(tr)
+}
+
+// device routes an address to its backing memory.
+func (m *Machine) deviceAccess(at units.Time, a addr.Addr, write bool) units.Time {
+	if addr.LevelOf(a) == addr.Near {
+		return m.near.Access(at, a, write)
+	}
+	return m.far.Access(at, a, write)
+}
+
+// fill performs a blocking line read for group g and returns the time the
+// line reaches the core.
+func (m *Machine) fill(g int, a addr.Addr) units.Time {
+	t := m.l2bus[g].Acquire(m.cfg.LineSize) + m.cfg.L2Latency
+	r := m.l2[g].Access(uint64(a), false)
+	if r.Hit {
+		return t
+	}
+	if r.HasWB {
+		m.postToMemory(t, g, addr.Addr(r.Writeback))
+	}
+	arr := m.nw.Send(t, g, 0) // read command, no payload
+	dev := m.deviceAccess(arr, a, false)
+	resp := m.nw.Deliver(dev, g, m.cfg.LineSize)
+	return resp + m.cfg.L2Latency
+}
+
+// writeback absorbs an L1 victim into the L2 (write-allocate, full line so
+// no fetch); a dirty L2 victim is posted toward memory. Never blocks the
+// core beyond the L2 port.
+func (m *Machine) writeback(g int, a addr.Addr) units.Time {
+	t := m.l2bus[g].Acquire(m.cfg.LineSize) + m.cfg.L2Latency
+	r := m.l2[g].Access(uint64(a), true)
+	if r.HasWB {
+		m.postToMemory(t, g, addr.Addr(r.Writeback))
+	}
+	return t
+}
+
+// postToMemory sends a dirty line toward its device without anything
+// waiting for it (posted write).
+func (m *Machine) postToMemory(at units.Time, g int, a addr.Addr) {
+	m.sim.At(at, func() {
+		arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
+		m.deviceAccess(arr, a, true)
+	})
+}
+
+// atomic performs a serialized uncached read-modify-write and returns the
+// acknowledgment time.
+func (m *Machine) atomic(g int, a addr.Addr) units.Time {
+	arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
+	dev := m.deviceAccess(arr, a, true)
+	return m.nw.Deliver(dev, g, 0)
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperProfileShape(t *testing.T) {
+	p := PaperProfile()
+	if !p.Valid() {
+		t.Fatal("paper profile should be valid")
+	}
+	// With the paper's own Table I traffic, the minimum useful expansion
+	// must sit below 2 (their 2X configuration already won).
+	if mr := p.MinRho(); mr >= 2 {
+		t.Errorf("MinRho = %v; the paper's 2X column won, so it must be < 2", mr)
+	}
+	// Predicted bandwidth-bound speedups at the paper's three expansions
+	// should be modest and increasing, consistent with their 0.84/0.77/0.71
+	// relative times (speedups 1.19/1.30/1.40).
+	s2, s4, s8 := p.Speedup(2), p.Speedup(4), p.Speedup(8)
+	if !(s2 > 1 && s4 > s2 && s8 > s4) {
+		t.Errorf("speedups not increasing: %v %v %v", s2, s4, s8)
+	}
+	if s8 > p.AsymptoticSpeedup() {
+		t.Errorf("speedup %v above its own ceiling %v", s8, p.AsymptoticSpeedup())
+	}
+	// The paper's measured 8X speedup was 1.40; the pure bandwidth model
+	// should land in its neighborhood (it ignores compute, so it can
+	// overshoot somewhat).
+	if s8 < 1.2 || s8 > 2.5 {
+		t.Errorf("8X speedup prediction %v implausible vs paper's 1.40", s8)
+	}
+}
+
+func TestMinRhoThresholdExact(t *testing.T) {
+	p := TrafficProfile{BaseFar: 10, NMFar: 5, NMNear: 10}
+	// rho* = 10/(10-5) = 2: below it NM loses, above it wins.
+	if got := p.MinRho(); got != 2 {
+		t.Fatalf("MinRho = %v, want 2", got)
+	}
+	if s := p.Speedup(2); math.Abs(s-1) > 1e-12 {
+		t.Errorf("speedup at threshold = %v, want 1", s)
+	}
+	if p.Speedup(1.9) >= 1 {
+		t.Error("should lose below threshold")
+	}
+	if p.Speedup(2.1) <= 1 {
+		t.Error("should win above threshold")
+	}
+}
+
+func TestMinRhoUnwinnable(t *testing.T) {
+	p := TrafficProfile{BaseFar: 5, NMFar: 6, NMNear: 1}
+	if p.Valid() {
+		t.Error("profile with no far saving should be invalid")
+	}
+	if !math.IsInf(p.MinRho(), 1) && p.MinRho() < 1e300 {
+		t.Errorf("MinRho = %v, want effectively infinite", p.MinRho())
+	}
+}
+
+func TestSpeedupMonotoneProperty(t *testing.T) {
+	f := func(b, nf, nn uint16, r1, r2 uint8) bool {
+		p := TrafficProfile{
+			BaseFar: float64(b%1000) + 1,
+			NMFar:   float64(nf%1000) + 1,
+			NMNear:  float64(nn%1000) + 1,
+		}
+		lo := 1 + float64(r1%50)/10
+		hi := lo + float64(r2%50)/10 + 0.1
+		return p.Speedup(hi) >= p.Speedup(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupPanicsOnBadRho(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PaperProfile().Speedup(0)
+}
+
+func TestVendorGuidance(t *testing.T) {
+	g := VendorGuidance(1.7e9, 16, 8e9, 8, 1e6, PaperProfile())
+	if g.MinCores <= 0 {
+		t.Errorf("MinCores = %d", g.MinCores)
+	}
+	if g.MinRho <= 0 || g.MinRho >= 2 {
+		t.Errorf("MinRho = %v", g.MinRho)
+	}
+	if g.SpeedupAt8X <= g.SpeedupAt2X || g.Ceiling < g.SpeedupAt8X {
+		t.Errorf("guidance inconsistent: %+v", g)
+	}
+}

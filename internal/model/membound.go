@@ -1,0 +1,62 @@
+package model
+
+// This file implements the back-of-envelope memory-boundedness analysis of
+// Section V-A of the paper: given a processing rate x (comparisons per
+// second), a memory bandwidth y (elements per second between off-chip
+// memory and cache), and Z blocks of on-chip memory, sorting is
+// memory-bandwidth bound when
+//
+//	N·log N / x  <  N·log N / (y·log Z)   ⇔   y·log Z < x.
+//
+// The instance size N cancels, which is the paper's observation that
+// whether sorting is bandwidth bound does not depend on how much data is
+// sorted. The paper plugs in Z ≈ 10⁶, x ≈ 10¹⁰, y ≈ 10⁹ and finds the two
+// sides comparable, with 256 cores tipping the system into the
+// memory-bound regime and 128 cores not.
+
+// BoundAnalysis reports the two sides of the Section V-A inequality for a
+// machine description.
+type BoundAnalysis struct {
+	ProcessingRate float64 // x: aggregate comparisons per second
+	MemoryRate     float64 // y·log₂(Z): effective element delivery rate
+	MemoryBound    bool    // true when y·log Z < x
+	Ratio          float64 // x / (y·log Z); > 1 means memory bound
+}
+
+// MemoryBound evaluates the inequality. x is the node's aggregate
+// processing rate in comparisons per second, y the off-chip bandwidth in
+// elements per second, and zBlocks the number of blocks of on-chip memory.
+func MemoryBound(x, y float64, zBlocks float64) BoundAnalysis {
+	eff := y * lg(zBlocks)
+	return BoundAnalysis{
+		ProcessingRate: x,
+		MemoryRate:     eff,
+		MemoryBound:    eff < x,
+		Ratio:          x / eff,
+	}
+}
+
+// NodeRates derives x and y for a node built like the paper's simulated
+// system: cores at coreHz each retiring one comparison every
+// cyclesPerCompare cycles, and an off-chip bandwidth of bwBytes bytes per
+// second moving elemBytes-sized elements.
+func NodeRates(cores int, coreHz float64, cyclesPerCompare float64, bwBytes float64, elemBytes float64) (x, y float64) {
+	x = float64(cores) * coreHz / cyclesPerCompare
+	y = bwBytes / elemBytes
+	return x, y
+}
+
+// MinCoresForMemoryBound returns the smallest core count at which the node
+// becomes memory-bandwidth bound, holding the other rates fixed. This is
+// the quantity the paper uses to argue scratchpads matter once core counts
+// grow ("we estimate the number of cores that must be on a node ... for the
+// scratchpad to be of benefit"). Returns a core count >= 1.
+func MinCoresForMemoryBound(coreHz, cyclesPerCompare, bwBytes, elemBytes, zBlocks float64) int {
+	perCore := coreHz / cyclesPerCompare
+	eff := bwBytes / elemBytes * lg(zBlocks)
+	cores := int(eff/perCore) + 1
+	if cores < 1 {
+		cores = 1
+	}
+	return cores
+}

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperNumbersSectionVA(t *testing.T) {
+	// The paper plugs in Z ≈ 10⁶ blocks, x ≈ 10¹⁰ ops/s, y ≈ 10⁹ elems/s
+	// and observes 10⁹·log 10⁶ ≈ 10¹⁰ — the quantities are comparable.
+	a := MemoryBound(1e10, 1e9, 1e6)
+	if a.Ratio < 0.3 || a.Ratio > 3 {
+		t.Errorf("paper's point was the sides are comparable; ratio = %v", a.Ratio)
+	}
+}
+
+func TestMemoryBoundFlips(t *testing.T) {
+	// Doubling processing rate while holding bandwidth should eventually
+	// flip the system into the memory-bound regime.
+	if a := MemoryBound(1e12, 1e9, 1e6); !a.MemoryBound {
+		t.Errorf("fast cores, slow memory should be memory bound: %+v", a)
+	}
+	if a := MemoryBound(1e8, 1e9, 1e6); a.MemoryBound {
+		t.Errorf("slow cores, fast memory should be compute bound: %+v", a)
+	}
+}
+
+func TestInstanceSizeCancels(t *testing.T) {
+	// The inequality does not involve N at all; both sides of the original
+	// comparison scale by N·logN identically. Verify the derived form is
+	// consistent: time ratio equals rate ratio for any N.
+	x, y, z := 1e10, 1e9, 1e6
+	for _, n := range []float64{1e6, 1e7, 1e9} {
+		procTime := n * math.Log2(n) / x
+		memTime := n * math.Log2(n) / (y * math.Log2(z))
+		a := MemoryBound(x, y, z)
+		if (procTime < memTime) != a.MemoryBound {
+			t.Errorf("N=%v: inconsistent memory-bound classification", n)
+		}
+	}
+}
+
+func TestNodeRates(t *testing.T) {
+	// 256 cores at 1.7GHz, 40 cycles/comparison, 60GB/s STREAM, 8B elems.
+	x, y := NodeRates(256, 1.7e9, 40, 60e9, 8)
+	if math.Abs(x-256*1.7e9/40) > 1 {
+		t.Errorf("x = %v", x)
+	}
+	if math.Abs(y-7.5e9) > 1 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestCoreCountCrossover(t *testing.T) {
+	// The paper's simulations find 256 cores memory bound and 128 not.
+	// With the Figure 4 machine and a comparison cost calibrated near the
+	// paper's x ≈ 10¹⁰ for 256 cores, the crossover must sit in (128, 256].
+	// The paper takes y ≈ 10⁹ useful elements per second (the effective
+	// rate of a sorting pass, well below the 60GB/s raw STREAM figure once
+	// reads+writes and non-streaming merge access are accounted), Z ≈ 10⁶
+	// cache blocks, and x within a small factor of 10¹⁰. A per-comparison
+	// cost of 16 core cycles puts the 256-core node at x ≈ 2.7·10¹⁰ and
+	// the 128-core node at 1.4·10¹⁰, straddling y·lg Z ≈ 2·10¹⁰ exactly as
+	// the simulations observe.
+	const (
+		coreHz    = 1.7e9
+		cyclesCmp = 16
+		yElems    = 1e9
+		zBlocks   = 1e6
+	)
+	min := MinCoresForMemoryBound(coreHz, cyclesCmp, yElems*8, 8, zBlocks)
+	if min <= 128 || min > 256 {
+		t.Errorf("crossover core count = %d, paper places it in (128, 256]", min)
+	}
+	x256, _ := NodeRates(256, coreHz, cyclesCmp, yElems*8, 8)
+	if !MemoryBound(x256, yElems, zBlocks).MemoryBound {
+		t.Errorf("256 cores should be memory bound")
+	}
+	x128, _ := NodeRates(128, coreHz, cyclesCmp, yElems*8, 8)
+	if MemoryBound(x128, yElems, zBlocks).MemoryBound {
+		t.Errorf("128 cores should not be memory bound")
+	}
+}
+
+func TestMinCoresAtLeastOne(t *testing.T) {
+	if got := MinCoresForMemoryBound(1e9, 1, 1, 8, 2); got < 1 {
+		t.Errorf("MinCores = %d", got)
+	}
+}

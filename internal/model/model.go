@@ -1,0 +1,262 @@
+// Package model implements the algorithmic scratchpad model of Section II
+// of the paper "Two-Level Main Memory Co-Design: Multi-Threaded Algorithmic
+// Primitives, Analysis, and Simulation" (IPDPS 2015).
+//
+// The model generalizes the Aggarwal-Vitter external-memory model to a
+// hierarchy in which DRAM and a high-bandwidth scratchpad sit side by side
+// below the cache: DRAM transfers blocks of size B, the scratchpad transfers
+// blocks of size ρB (ρ > 1), and each block transfer costs 1 regardless of
+// size. The cache has size Z, the scratchpad size M ≫ Z, and DRAM is
+// arbitrarily large. The parallel variant (Section IV-A) adds p processors,
+// of which p′ ≤ p may transfer blocks simultaneously.
+//
+// All cost functions return expected leading-order block-transfer counts
+// (the Θ(·) expressions with constant 1), so callers comparing measured
+// counters against the model should expect agreement up to a small constant
+// factor with the correct growth in every parameter.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Params describes one instance of the scratchpad model.
+type Params struct {
+	N      int64       // input size in elements
+	Elem   units.Bytes // element size in bytes (8 for the paper's uint64 keys)
+	B      units.Bytes // DRAM block size in bytes
+	Rho    float64     // scratchpad bandwidth expansion factor ρ > 1
+	M      units.Bytes // scratchpad capacity in bytes
+	Z      units.Bytes // cache capacity in bytes
+	P      int         // processors on the node
+	PPrime int         // processors that may transfer blocks simultaneously
+}
+
+// Validate reports whether the parameters satisfy the model's structural
+// assumptions: positive sizes, ρ > 1, Z < M, and the tall-cache assumption
+// M > B² (in elements, as in the paper's analysis).
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return errors.New("model: N must be positive")
+	case p.Elem <= 0:
+		return errors.New("model: element size must be positive")
+	case p.B <= 0:
+		return errors.New("model: B must be positive")
+	case p.Rho <= 1:
+		return errors.New("model: rho must exceed 1")
+	case p.M <= p.Z:
+		return errors.New("model: scratchpad must be larger than cache (M > Z)")
+	case p.Z < p.B:
+		return errors.New("model: cache must hold at least one block (Z >= B)")
+	case p.P <= 0 || p.PPrime <= 0:
+		return errors.New("model: processor counts must be positive")
+	case p.PPrime > p.P:
+		return errors.New("model: p' cannot exceed p")
+	}
+	// Tall cache: M > B² with both in elements.
+	bElems := float64(p.B) / float64(p.Elem)
+	mElems := float64(p.M) / float64(p.Elem)
+	if mElems <= bElems*bElems {
+		return fmt.Errorf("model: tall-cache assumption violated: M=%v elems <= B²=%v elems",
+			mElems, bElems*bElems)
+	}
+	return nil
+}
+
+// Derived model quantities, all in element units.
+
+// BlockElems returns B in elements: how many keys one DRAM block holds.
+func (p Params) BlockElems() float64 { return float64(p.B) / float64(p.Elem) }
+
+// SPBlockElems returns ρB in elements: how many keys one scratchpad block
+// holds.
+func (p Params) SPBlockElems() float64 { return p.Rho * p.BlockElems() }
+
+// CacheElems returns Z in elements.
+func (p Params) CacheElems() float64 { return float64(p.Z) / float64(p.Elem) }
+
+// SPElems returns M in elements.
+func (p Params) SPElems() float64 { return float64(p.M) / float64(p.Elem) }
+
+// SampleSize returns m = Θ(M/B), the pivot sample size used by the
+// bucketizing scans (Section III-A).
+func (p Params) SampleSize() int64 {
+	m := int64(float64(p.M) / float64(p.B))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// logBase returns log_base(x) clamped below at 1, the convention used when
+// evaluating Θ-expressions of the form log_b(x) that appear as pass counts:
+// an algorithm always makes at least one pass. It panics if base <= 1.
+func logBase(base, x float64) float64 {
+	if base <= 1 {
+		panic(fmt.Sprintf("model: log base %v <= 1", base))
+	}
+	if x <= base {
+		return 1
+	}
+	return math.Log(x) / math.Log(base)
+}
+
+// lg is log2 clamped below at 1.
+func lg(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// SortDRAMOnly evaluates Theorem 1: sorting N numbers from DRAM with a
+// cache of size Z and block (line) size L and no scratchpad requires
+// Θ((N/L)·log_{Z/L}(N/L)) block transfers, achieved by multiway merge sort
+// with branching factor Z/L. L is given in bytes.
+func (p Params) SortDRAMOnly(l units.Bytes) float64 {
+	lElems := float64(l) / float64(p.Elem)
+	n := float64(p.N)
+	return n / lElems * logBase(p.CacheElems()/lElems, n/lElems)
+}
+
+// MergeSortDRAMOnly evaluates Theorem 2: binary merge sort from DRAM takes
+// Θ((N/L)·lg(N/Z)) block transfers.
+func (p Params) MergeSortDRAMOnly(l units.Bytes) float64 {
+	lElems := float64(l) / float64(p.Elem)
+	n := float64(p.N)
+	return n / lElems * lg(n/p.CacheElems())
+}
+
+// InScratchpadMergeSort evaluates the first half of Corollary 3: sorting x
+// elements resident in the scratchpad with multiway merge sort (branching
+// factor Z/B) uses Θ((x/ρB)·log_{Z/B}(x/B)) scratchpad block transfers.
+func (p Params) InScratchpadMergeSort(x float64) float64 {
+	b := p.BlockElems()
+	return x / p.SPBlockElems() * logBase(p.CacheElems()/b, x/b)
+}
+
+// InScratchpadQuicksort evaluates the second half of Corollary 3: sorting x
+// scratchpad-resident elements with quicksort uses Θ((x/ρB)·lg(x/Z))
+// scratchpad block transfers in expectation.
+func (p Params) InScratchpadQuicksort(x float64) float64 {
+	return x / p.SPBlockElems() * lg(x/p.CacheElems())
+}
+
+// ScanCost captures Lemma 4: the costs of one bucketizing scan.
+type ScanCost struct {
+	DRAMBlocks float64 // O(N/B) transfers from DRAM
+	SPBlocks   float64 // O((N/ρB)·log_{Z/ρB}(M/ρB)) transfers from scratchpad
+	RAMOps     float64 // O(N·lg M) operations in the RAM model
+}
+
+// BucketizingScan evaluates Lemma 4 for one scan over n elements.
+func (p Params) BucketizingScan(n float64) ScanCost {
+	rb := p.SPBlockElems()
+	return ScanCost{
+		DRAMBlocks: n / p.BlockElems(),
+		SPBlocks:   n / rb * logBase(p.CacheElems()/rb, p.SPElems()/rb),
+		RAMOps:     n * lg(p.SPElems()),
+	}
+}
+
+// ScanCount evaluates Lemma 5: with high probability every bucket fits in
+// the scratchpad after O(log_m(N/M)) bucketizing scans, where m = Θ(M/B).
+// An input that already fits in the scratchpad needs no bucketizing at all,
+// so the count is 1 (the single ingest-and-sort pass).
+func (p Params) ScanCount() float64 {
+	if float64(p.N) <= p.SPElems() {
+		return 1
+	}
+	m := float64(p.SampleSize())
+	return 1 + logBase(m, float64(p.N)/p.SPElems())
+}
+
+// SortCost decomposes the total sorting cost by memory level, mirroring the
+// statement of Theorem 6.
+type SortCost struct {
+	DRAMBlocks float64 // block transfers between DRAM and cache
+	SPBlocks   float64 // block transfers between scratchpad and cache
+}
+
+// Total returns the combined block-transfer count. Under the model both
+// kinds cost 1, so the total is the model's running time.
+func (c SortCost) Total() float64 { return c.DRAMBlocks + c.SPBlocks }
+
+// ScratchpadSort evaluates Theorem 6: sorting with the scratchpad performs
+// Θ((N/B)·log_{M/B}(N/B)) DRAM block transfers and
+// Θ((N/ρB)·log_{Z/ρB}(N/B)) scratchpad block transfers w.h.p., which is
+// optimal.
+func (p Params) ScratchpadSort() SortCost {
+	n := float64(p.N)
+	b := p.BlockElems()
+	rb := p.SPBlockElems()
+	return SortCost{
+		DRAMBlocks: n / b * logBase(p.SPElems()/b, n/b),
+		SPBlocks:   n / rb * logBase(p.CacheElems()/rb, n/b),
+	}
+}
+
+// ScratchpadSortQuicksort evaluates Corollary 7: using quicksort within the
+// scratchpad costs O((N/B)·log_{M/B}(N/B) + (N/ρB)·lg(M/Z)·log_{M/B}(N/B))
+// block transfers in expectation.
+func (p Params) ScratchpadSortQuicksort() SortCost {
+	n := float64(p.N)
+	b := p.BlockElems()
+	passes := logBase(p.SPElems()/b, n/b)
+	return SortCost{
+		DRAMBlocks: n / b * passes,
+		SPBlocks:   n / p.SPBlockElems() * lg(p.SPElems()/p.CacheElems()) * passes,
+	}
+}
+
+// QuicksortOptimal reports the condition of Corollary 7: the quicksort
+// variant is optimal when ρ = Ω(lg(M/Z)). The returned threshold is
+// lg(M/Z); the variant is optimal (up to constants) when ρ >= that value.
+func (p Params) QuicksortOptimal() (threshold float64, optimal bool) {
+	threshold = lg(p.SPElems() / p.CacheElems())
+	return threshold, p.Rho >= threshold
+}
+
+// LowerBound evaluates the matching lower bound from Theorem 6:
+// Ω((N/B)·log_{M/B}(N/B) + (N/ρB)·log_{Z/ρB}(N/B)) block transfers.
+func (p Params) LowerBound() float64 { return p.ScratchpadSort().Total() }
+
+// PEMSort evaluates Theorem 8 (Arge et al.): sorting N numbers in the PEM
+// model with p′ processors, caches of size Z, and block size L requires
+// Θ((N/(p′L))·log_{Z/L}(N/L)) block-transfer steps. L is in bytes.
+func (p Params) PEMSort(l units.Bytes) float64 {
+	lElems := float64(l) / float64(p.Elem)
+	n := float64(p.N)
+	return n / (float64(p.PPrime) * lElems) * logBase(p.CacheElems()/lElems, n/lElems)
+}
+
+// ParallelScanCost evaluates Lemma 9: one parallel bucketizing scan costs
+// O(N/(p′B)) DRAM block-transfer steps plus
+// O((N/(p′ρB))·log_{Z/ρB}(M/ρB)) scratchpad block-transfer steps.
+func (p Params) ParallelScanCost(n float64) ScanCost {
+	c := p.BucketizingScan(n)
+	pp := float64(p.PPrime)
+	return ScanCost{DRAMBlocks: c.DRAMBlocks / pp, SPBlocks: c.SPBlocks / pp, RAMOps: c.RAMOps / pp}
+}
+
+// ParallelScratchpadSort evaluates Theorem 10: sorting on a node that
+// allows p′ simultaneous block transfers takes
+// O((N/(p′B))·log_{M/B}(N/B) + (N/(p′ρB))·log_{Z/ρB}(N/B)) block-transfer
+// steps w.h.p.
+func (p Params) ParallelScratchpadSort() SortCost {
+	c := p.ScratchpadSort()
+	pp := float64(p.PPrime)
+	return SortCost{DRAMBlocks: c.DRAMBlocks / pp, SPBlocks: c.SPBlocks / pp}
+}
+
+// Speedup returns the model-predicted ratio of DRAM-only sorting cost
+// (Theorem 1 with L = B) to scratchpad sorting cost (Theorem 6). Under the
+// architectural regimes the paper targets this approaches ρ.
+func (p Params) Speedup() float64 {
+	return p.SortDRAMOnly(p.B) / p.ScratchpadSort().Total()
+}

@@ -1,0 +1,101 @@
+// Package noc models the on-chip network connecting core groups to the
+// memory directory controllers — the role Merlin plays in the paper's SST
+// setup (Figure 5). Each quad-core group has its own injection/ejection
+// link (72 GB/s in Figure 4); a hop costs a fixed 20ns latency plus
+// bandwidth occupancy for the 64-byte payload. The NoC's job in this study
+// is to add realistic latency without being the bottleneck, and a
+// bandwidth-accounted crossbar reproduces exactly that.
+package noc
+
+import (
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// Config describes the network.
+type Config struct {
+	Groups    int                  // number of endpoints (core groups)
+	LinkBW    units.BytesPerSecond // per-group link bandwidth, per direction
+	HopLat    units.Time           // one-way latency
+	Payload   units.Bytes          // data payload per message (cache line)
+	HeaderLat units.Time           // extra per-message router overhead
+}
+
+// Paper returns the Figure 4 network: 72GB/s per group connection, 20ns
+// hop latency, 64B lines.
+func Paper(groups int) Config {
+	return Config{
+		Groups:  groups,
+		LinkBW:  units.GBps(72),
+		HopLat:  20 * units.Nanosecond,
+		Payload: 64,
+	}
+}
+
+// Network is an instantiated NoC.
+type Network struct {
+	cfg   Config
+	tx    []*engine.Resource // group -> memory direction
+	rx    []*engine.Resource // memory -> group direction
+	msgs  uint64
+	bytes uint64
+}
+
+// New builds the network on sim.
+func New(sim *engine.Sim, cfg Config) *Network {
+	if cfg.Groups <= 0 {
+		panic("noc: need at least one group")
+	}
+	n := &Network{cfg: cfg,
+		tx: make([]*engine.Resource, cfg.Groups),
+		rx: make([]*engine.Resource, cfg.Groups),
+	}
+	for i := 0; i < cfg.Groups; i++ {
+		n.tx[i] = engine.NewResource(sim, cfg.LinkBW)
+		n.rx[i] = engine.NewResource(sim, cfg.LinkBW)
+	}
+	return n
+}
+
+// Send delivers a request of n payload bytes from group g toward the
+// memory side, arriving at the returned time. Requests without payload
+// (read commands) pass n = 0 and pay only latency.
+func (nw *Network) Send(at units.Time, g int, n units.Bytes) units.Time {
+	nw.msgs++
+	nw.bytes += uint64(n)
+	if n == 0 {
+		return at + nw.cfg.HopLat + nw.cfg.HeaderLat
+	}
+	done := nw.tx[g].AcquireAt(at, n)
+	return done + nw.cfg.HopLat + nw.cfg.HeaderLat
+}
+
+// Deliver returns a response of n payload bytes from the memory side to
+// group g, arriving at the returned time.
+func (nw *Network) Deliver(at units.Time, g int, n units.Bytes) units.Time {
+	nw.msgs++
+	nw.bytes += uint64(n)
+	if n == 0 {
+		return at + nw.cfg.HopLat + nw.cfg.HeaderLat
+	}
+	done := nw.rx[g].AcquireAt(at, n)
+	return done + nw.cfg.HopLat + nw.cfg.HeaderLat
+}
+
+// Messages returns the total messages routed.
+func (nw *Network) Messages() uint64 { return nw.msgs }
+
+// Bytes returns the total payload bytes routed.
+func (nw *Network) Bytes() uint64 { return nw.bytes }
+
+// Utilization returns the mean link utilization across both directions.
+func (nw *Network) Utilization() float64 {
+	var u float64
+	for i := range nw.tx {
+		u += nw.tx[i].Utilization() + nw.rx[i].Utilization()
+	}
+	return u / float64(2*len(nw.tx))
+}
+
+// Config returns the network configuration.
+func (nw *Network) Config() Config { return nw.cfg }

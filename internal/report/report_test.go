@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Sample", "config", "rho", "time")
+	t.AddRow("gnusort", "2", "11.5ms")
+	t.AddRowf("nmsort", 2.0, "6.1ms")
+	return t
+}
+
+func TestTextAligned(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().Render(&b, Text); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Sample") {
+		t.Errorf("missing title")
+	}
+	// Columns align: "rho" starts at the same offset in header and rows.
+	if strings.Index(lines[1], "rho") != strings.Index(lines[2], "2  ") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().Render(&b, CSV); err != nil {
+		t.Fatal(err)
+	}
+	want := "config,rho,time\ngnusort,2,11.5ms\nnmsort,2,6.1ms\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().Render(&b, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Sample**", "| config | rho | time |", "| --- | --- | --- |", "| gnusort | 2 | 11.5ms |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow("x|y")
+	var b bytes.Buffer
+	if err := tab.Render(&b, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x\|y`) {
+		t.Errorf("pipe not escaped: %s", b.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "csv", "markdown", "md"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("expected error for xml")
+	}
+}
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("", "a", "b").AddRow("only-one")
+}
+
+func TestRenderUnknownFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().Render(&b, Format("bogus")); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"repro/internal/units"
+)
+
+// Trace serialization: a compact little-endian binary format so traces can
+// be recorded once (expensive: native execution under instrumentation) and
+// replayed many times or inspected offline — the workflow of cmd/nmtrace.
+//
+// Layout:
+//
+//	magic "NMTR" | version u32
+//	costs: 4 x i64 | l1: cap i64, line i64, ways i64
+//	threads u32
+//	per thread: ops u32, then packed ops
+//	crc64(ECMA) of everything before it
+//
+// Ops are delta-packed per kind: a leading tag byte (kind | flags) followed
+// by only the fields that kind uses.
+
+const (
+	traceMagic   = "NMTR"
+	traceVersion = 1
+)
+
+const (
+	tagKindMask  = 0x0f
+	tagWrite     = 0x10 // OpAccess direction
+	tagHasGap    = 0x20 // a uvarint gap follows
+	tagSmallAddr = 0x40 // address delta fits in a varint (always set; reserved)
+)
+
+// WriteTo serializes the trace. It returns the bytes written.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w, crc: crc64.New(crcTable)}
+	bw := bufio.NewWriterSize(cw, 1<<20)
+
+	put := func(data any) error { return binary.Write(bw, binary.LittleEndian, data) }
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return cw.n, err
+	}
+	hdr := []int64{
+		traceVersion,
+		tr.Costs.IssueCycles, tr.Costs.L1HitCycles, tr.Costs.CompareCycles, tr.Costs.AtomicCycles,
+		int64(tr.L1.Capacity), int64(tr.L1.LineSize), int64(tr.L1.Ways),
+		int64(len(tr.Streams)),
+	}
+	if err := put(hdr); err != nil {
+		return cw.n, err
+	}
+
+	var buf [3 * binary.MaxVarintLen64]byte
+	for _, s := range tr.Streams {
+		if err := put(int64(len(s))); err != nil {
+			return cw.n, err
+		}
+		var prevAddr uint64
+		for _, op := range s {
+			tag := byte(op.Kind) & tagKindMask
+			if op.Write {
+				tag |= tagWrite
+			}
+			if op.Gap != 0 {
+				tag |= tagHasGap
+			}
+			if err := bw.WriteByte(tag); err != nil {
+				return cw.n, err
+			}
+			n := 0
+			if op.Gap != 0 {
+				n += binary.PutUvarint(buf[n:], uint64(op.Gap))
+			}
+			switch op.Kind {
+			case OpAccess, OpAtomic:
+				n += binary.PutVarint(buf[n:], int64(op.Addr-prevAddr))
+				prevAddr = op.Addr
+			case OpDMA:
+				n += binary.PutUvarint(buf[n:], op.Addr)
+				n += binary.PutUvarint(buf[n:], op.Addr2)
+				n += binary.PutUvarint(buf[n:], uint64(op.Size))
+			}
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	// Trailing checksum (not itself checksummed).
+	sum := cw.crc.Sum64()
+	if err := binary.Write(cw.w, binary.LittleEndian, sum); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 8, nil
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+type countingWriter struct {
+	w   io.Writer
+	crc interface {
+		io.Writer
+		Sum64() uint64
+	}
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadTrace deserializes a trace written by WriteTo, verifying its
+// checksum. The entire stream is buffered in memory first (traces are tens
+// of MB at most), which keeps the checksum handling trivial.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading stream: %w", err)
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("trace: truncated stream (%d bytes)", len(raw))
+	}
+	payload, tail := raw[:len(raw)-8], raw[len(raw)-8:]
+	want := binary.LittleEndian.Uint64(tail)
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("trace: checksum mismatch (%#x != %#x)", got, want)
+	}
+
+	br := bytes.NewReader(payload)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	hdr := make([]int64, 9)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr[0] != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[0])
+	}
+	threads := hdr[8]
+	if threads <= 0 || threads > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
+	}
+	tr := &Trace{
+		Streams: make([][]Op, threads),
+		Costs: Costs{
+			IssueCycles: hdr[1], L1HitCycles: hdr[2],
+			CompareCycles: hdr[3], AtomicCycles: hdr[4],
+		},
+		L1: L1Geometry{
+			Capacity: units.Bytes(hdr[5]),
+			LineSize: units.Bytes(hdr[6]),
+			Ways:     int(hdr[7]),
+		},
+	}
+
+	for t := int64(0); t < threads; t++ {
+		var nOps int64
+		if err := binary.Read(br, binary.LittleEndian, &nOps); err != nil {
+			return nil, fmt.Errorf("trace: thread %d length: %w", t, err)
+		}
+		if nOps < 0 || nOps > 1<<34 {
+			return nil, fmt.Errorf("trace: implausible op count %d", nOps)
+		}
+		ops := make([]Op, nOps)
+		var prevAddr uint64
+		for i := range ops {
+			tag, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d op %d: %w", t, i, err)
+			}
+			op := Op{Kind: Kind(tag & tagKindMask), Write: tag&tagWrite != 0}
+			if tag&tagHasGap != 0 {
+				g, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: gap: %w", err)
+				}
+				if g > uint64(^uint32(0)) {
+					return nil, fmt.Errorf("trace: gap %d overflows", g)
+				}
+				op.Gap = uint32(g)
+			}
+			switch op.Kind {
+			case OpAccess, OpAtomic:
+				d, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: addr delta: %w", err)
+				}
+				op.Addr = prevAddr + uint64(d)
+				prevAddr = op.Addr
+			case OpDMA:
+				if op.Addr, err = binary.ReadUvarint(br); err != nil {
+					return nil, fmt.Errorf("trace: dma src: %w", err)
+				}
+				if op.Addr2, err = binary.ReadUvarint(br); err != nil {
+					return nil, fmt.Errorf("trace: dma dst: %w", err)
+				}
+				sz, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: dma size: %w", err)
+				}
+				op.Size = uint32(sz)
+			case OpBarrier, OpDMAWait, OpGap, OpEnd:
+				// tag only
+			default:
+				return nil, fmt.Errorf("trace: unknown op kind %d", op.Kind)
+			}
+			ops[i] = op
+		}
+		tr.Streams[t] = ops
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing payload bytes", br.Len())
+	}
+	return tr, nil
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	return got
+}
+
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	rec := NewRecorder(3, tinyL1(), DefaultCosts())
+	for tid := 0; tid < 3; tid++ {
+		tp := rec.Thread(tid)
+		tp.Compute(int64(100 * (tid + 1)))
+		tp.Load(addr.FarBase+addr.Addr(tid*4096), 8)
+		tp.Store(addr.NearBase+addr.Addr(tid*4096), 16)
+		tp.Barrier()
+		tp.Atomic(addr.NearBase)
+		tp.DMA(addr.FarBase, addr.NearBase+65536, 4096)
+		tp.DMAWait()
+		tp.Compute(7)
+		tp.Load(addr.FarBase+addr.Addr(tid*4096)+128, 8)
+	}
+	return rec.Finish()
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	got := roundTrip(t, tr)
+
+	if len(got.Streams) != len(tr.Streams) {
+		t.Fatalf("streams: %d vs %d", len(got.Streams), len(tr.Streams))
+	}
+	for tid := range tr.Streams {
+		if len(got.Streams[tid]) != len(tr.Streams[tid]) {
+			t.Fatalf("thread %d: %d ops vs %d", tid, len(got.Streams[tid]), len(tr.Streams[tid]))
+		}
+		for i := range tr.Streams[tid] {
+			if got.Streams[tid][i] != tr.Streams[tid][i] {
+				t.Fatalf("thread %d op %d: %+v vs %+v", tid, i,
+					got.Streams[tid][i], tr.Streams[tid][i])
+			}
+		}
+	}
+	if got.Costs != tr.Costs || got.L1 != tr.L1 {
+		t.Errorf("metadata mismatch: %+v/%+v vs %+v/%+v", got.Costs, got.L1, tr.Costs, tr.L1)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped trace invalid: %v", err)
+	}
+	if got.Count() != tr.Count() {
+		t.Errorf("counts differ after round trip")
+	}
+}
+
+func TestSerializeDetectsCorruption(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a payload byte: the checksum must catch it.
+	raw[len(raw)/2] ^= 0xff
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}
+
+func TestSerializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0}, 64),
+		[]byte("NOPE" + string(bytes.Repeat([]byte{0}, 100))),
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestSerializeTruncation(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{8, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadTrace(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSerializeEmptyStreams(t *testing.T) {
+	rec := NewRecorder(2, tinyL1(), DefaultCosts())
+	tr := rec.Finish() // streams contain only OpEnd
+	got := roundTrip(t, tr)
+	if got.Ops() != tr.Ops() {
+		t.Errorf("ops: %d vs %d", got.Ops(), tr.Ops())
+	}
+}
+
+// TestSerializePropertyRandomWorkloads fuzzes the encoder with randomized
+// access patterns and checks exact round-tripping.
+func TestSerializePropertyRandomWorkloads(t *testing.T) {
+	f := func(ops []uint32, threadsRaw uint8) bool {
+		p := int(threadsRaw%4) + 1
+		rec := NewRecorder(p, tinyL1(), DefaultCosts())
+		for i, o := range ops {
+			tp := rec.Thread(i % p)
+			a := addr.FarBase + addr.Addr(o%1<<20)*8
+			if o%5 == 0 {
+				a = addr.NearBase + addr.Addr(o%1<<20)*8
+			}
+			switch o % 4 {
+			case 0:
+				tp.Load(a, 8)
+			case 1:
+				tp.Store(a, 8)
+			case 2:
+				tp.Compute(int64(o % 1000))
+			case 3:
+				tp.Atomic(a)
+			}
+		}
+		tr := rec.Finish()
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Ops() != tr.Ops() || got.Count() != tr.Count() {
+			return false
+		}
+		for tid := range tr.Streams {
+			for i := range tr.Streams[tid] {
+				if got.Streams[tid][i] != tr.Streams[tid][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeCompact(t *testing.T) {
+	// Streaming access patterns should compress well below 16 bytes/op.
+	rec := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := rec.Thread(0)
+	for i := 0; i < 10000; i++ {
+		tp.Load(addr.FarBase+addr.Addr(i*64), 8)
+	}
+	tr := rec.Finish()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(buf.Len()) / float64(tr.Ops())
+	if perOp > 8 {
+		t.Errorf("%.1f bytes/op; delta encoding should be well under 8 for streams", perOp)
+	}
+}

@@ -1,0 +1,362 @@
+// Package trace is the instrumentation seam between the algorithms and the
+// machine simulator — the role the Ariel/Pin pipeline plays in the paper's
+// SST setup (Figure 5). Algorithms execute natively on Go slices while a
+// per-thread probe observes every logical memory access. The probe filters
+// the raw stream through a private L1 model (so L1 hits never become
+// simulation events, they fold into compute gaps) and records the surviving
+// L2-level line operations, compute gaps, barriers, and DMA descriptors.
+//
+// A recorded trace is replayed by internal/machine under any memory
+// configuration. Recording once and replaying under 2X/4X/8X near-memory
+// bandwidth mirrors the paper's methodology: the instruction stream is
+// identical across configurations, only the memory system differs.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cachesim"
+	"repro/internal/units"
+)
+
+// Kind discriminates trace operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	OpAccess  Kind = iota // line fill (Write=false) or writeback (Write=true)
+	OpAtomic              // serialized read-modify-write of one line
+	OpBarrier             // all threads rendezvous
+	OpDMA                 // enqueue an asynchronous bulk copy (paper §VII future work)
+	OpDMAWait             // block until all DMA copies issued by this thread finish
+	OpGap                 // pure compute time (only for gaps overflowing a uint32)
+	OpEnd                 // end of thread stream
+)
+
+// Op is one recorded event in a thread's stream. Gap carries the core
+// compute cycles that elapsed since the previous recorded op, so replay can
+// reconstruct the full timeline without storing per-instruction detail.
+type Op struct {
+	Addr  uint64 // line-aligned address (OpAccess/OpAtomic); DMA source
+	Addr2 uint64 // DMA destination
+	Size  uint32 // DMA bytes
+	Gap   uint32 // core cycles of compute preceding this op
+	Kind  Kind
+	Write bool // OpAccess direction: true = toward memory (writeback)
+}
+
+// Costs are the core's cycle charges — the calibration constants that set
+// the paper's processing rate x. The defaults put a 256-core 1.7GHz node
+// near the paper's x ≈ 10¹⁰ comparisons/s, which is what makes sorting
+// memory-bound at 256 cores and compute-bound at 128 (Section V-A).
+type Costs struct {
+	IssueCycles   int64 // every load/store issue
+	L1HitCycles   int64 // additional latency of an L1 hit (2ns ≈ 3 cycles)
+	CompareCycles int64 // one key comparison incl. branch logic
+	AtomicCycles  int64 // local cost of an atomic RMW (bus time modeled at replay)
+}
+
+// DefaultCosts returns the calibrated defaults (see EXPERIMENTS.md).
+func DefaultCosts() Costs {
+	return Costs{IssueCycles: 1, L1HitCycles: 3, CompareCycles: 30, AtomicCycles: 20}
+}
+
+// L1Geometry describes the private L1 used as the record-time filter.
+type L1Geometry struct {
+	Capacity units.Bytes
+	LineSize units.Bytes
+	Ways     int
+}
+
+// DefaultL1 matches the paper's per-core 16KB 2-way data cache.
+func DefaultL1() L1Geometry {
+	return L1Geometry{Capacity: 16 * units.KiB, LineSize: 64, Ways: 2}
+}
+
+// TP is a per-thread probe. All methods are safe on a nil receiver and do
+// nothing, so algorithms run uninstrumented ("pure mode") when handed a nil
+// *TP — the mode used for correctness tests and native benchmarks.
+type TP struct {
+	tid   int
+	l1    *cachesim.Cache
+	line  uint64
+	pend  int64 // compute cycles since last recorded op
+	costs Costs
+	ops   []Op
+}
+
+// Tid returns the probe's thread id.
+func (t *TP) Tid() int {
+	if t == nil {
+		return 0
+	}
+	return t.tid
+}
+
+// access runs one line-granular access through the L1 filter.
+func (t *TP) access(a uint64, write bool) {
+	r := t.l1.Access(a, write)
+	if r.Hit {
+		t.pend += t.costs.IssueCycles + t.costs.L1HitCycles
+		return
+	}
+	t.pend += t.costs.IssueCycles
+	if r.HasWB {
+		t.emit(Op{Addr: r.Writeback, Kind: OpAccess, Write: true})
+	}
+	t.emit(Op{Addr: a &^ (t.line - 1), Kind: OpAccess, Write: false})
+}
+
+func (t *TP) emit(op Op) {
+	if t.pend > 0 {
+		const max = int64(^uint32(0))
+		for t.pend > max {
+			t.ops = append(t.ops, Op{Kind: OpGap, Gap: uint32(max)})
+			t.pend -= max
+		}
+		op.Gap = uint32(t.pend)
+		t.pend = 0
+	}
+	t.ops = append(t.ops, op)
+}
+
+// Load records a read of size bytes at address a.
+func (t *TP) Load(a addr.Addr, size int) {
+	if t == nil {
+		return
+	}
+	first := uint64(a) &^ (t.line - 1)
+	last := (uint64(a) + uint64(size) - 1) &^ (t.line - 1)
+	for l := first; l <= last; l += t.line {
+		t.access(l, false)
+	}
+}
+
+// Store records a write of size bytes at address a (write-allocate).
+func (t *TP) Store(a addr.Addr, size int) {
+	if t == nil {
+		return
+	}
+	first := uint64(a) &^ (t.line - 1)
+	last := (uint64(a) + uint64(size) - 1) &^ (t.line - 1)
+	for l := first; l <= last; l += t.line {
+		t.access(l, true)
+	}
+}
+
+// Compute charges raw compute cycles.
+func (t *TP) Compute(cycles int64) {
+	if t == nil {
+		return
+	}
+	t.pend += cycles
+}
+
+// Compare charges the cost of n key comparisons.
+func (t *TP) Compare(n int64) {
+	if t == nil {
+		return
+	}
+	t.pend += n * t.costs.CompareCycles
+}
+
+// Atomic records an atomic read-modify-write of the line at a. The line is
+// treated as uncached (it is shared across cores), so every atomic reaches
+// the memory system.
+func (t *TP) Atomic(a addr.Addr) {
+	if t == nil {
+		return
+	}
+	t.pend += t.costs.AtomicCycles
+	t.emit(Op{Addr: uint64(a) &^ (t.line - 1), Kind: OpAtomic})
+}
+
+// Barrier records a rendezvous point. The algorithm must pair every
+// recorded barrier with its own real synchronization (see internal/par);
+// replay re-synchronizes the simulated cores at the same points.
+func (t *TP) Barrier() {
+	if t == nil {
+		return
+	}
+	t.emit(Op{Kind: OpBarrier})
+}
+
+// DMA records an asynchronous bulk copy of n bytes from src to dst, the
+// paper's future-work DMA engine (§VII). Replay charges the transfer to
+// the memory channels in the background while the core continues.
+func (t *TP) DMA(src, dst addr.Addr, n int) {
+	if t == nil {
+		return
+	}
+	t.emit(Op{Addr: uint64(src), Addr2: uint64(dst), Size: uint32(n), Kind: OpDMA})
+}
+
+// DMAWait records a block-until-DMA-drained point for this thread.
+func (t *TP) DMAWait() {
+	if t == nil {
+		return
+	}
+	t.emit(Op{Kind: OpDMAWait})
+}
+
+// flushEnd drains the L1's dirty lines as writebacks and terminates the
+// stream. Called by Recorder.Finish.
+func (t *TP) flushEnd() {
+	for _, l := range t.l1.FlushDirty() {
+		t.emit(Op{Addr: l, Kind: OpAccess, Write: true})
+	}
+	t.emit(Op{Kind: OpEnd})
+}
+
+// Recorder owns the per-thread probes for one recorded run.
+type Recorder struct {
+	costs    Costs
+	l1       L1Geometry
+	threads  []*TP
+	finished bool
+}
+
+// NewRecorder creates probes for p threads.
+func NewRecorder(p int, l1 L1Geometry, costs Costs) *Recorder {
+	if p <= 0 {
+		panic("trace: need at least one thread")
+	}
+	r := &Recorder{costs: costs, l1: l1, threads: make([]*TP, p)}
+	for i := range r.threads {
+		r.threads[i] = &TP{
+			tid:   i,
+			l1:    cachesim.New(l1.Capacity, l1.LineSize, l1.Ways),
+			line:  uint64(l1.LineSize),
+			costs: costs,
+		}
+	}
+	return r
+}
+
+// Thread returns thread i's probe. Probes are single-goroutine objects:
+// exactly one goroutine may use a given probe.
+func (r *Recorder) Thread(i int) *TP {
+	if r == nil {
+		return nil
+	}
+	return r.threads[i]
+}
+
+// Threads returns the number of recorded threads.
+func (r *Recorder) Threads() int { return len(r.threads) }
+
+// Finish seals the recording: dirty L1 lines become trailing writebacks and
+// every stream gets an end marker. It returns the completed trace. Calling
+// Finish twice panics.
+func (r *Recorder) Finish() *Trace {
+	if r.finished {
+		panic("trace: Recorder.Finish called twice")
+	}
+	r.finished = true
+	tr := &Trace{Streams: make([][]Op, len(r.threads)), L1: r.l1, Costs: r.costs}
+	for i, t := range r.threads {
+		t.flushEnd()
+		tr.Streams[i] = t.ops
+	}
+	return tr
+}
+
+// Trace is a completed recording: one op stream per thread.
+type Trace struct {
+	Streams [][]Op
+	L1      L1Geometry
+	Costs   Costs
+}
+
+// Ops returns the total number of recorded operations.
+func (tr *Trace) Ops() int {
+	n := 0
+	for _, s := range tr.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Validate checks stream well-formedness: every stream ends with exactly
+// one OpEnd, barrier counts agree across all threads (replay would deadlock
+// otherwise), and every access address routes to a memory level.
+func (tr *Trace) Validate() error {
+	barriers := -1
+	for tid, s := range tr.Streams {
+		if len(s) == 0 || s[len(s)-1].Kind != OpEnd {
+			return fmt.Errorf("trace: thread %d stream not terminated", tid)
+		}
+		b := 0
+		for i, op := range s {
+			switch op.Kind {
+			case OpEnd:
+				if i != len(s)-1 {
+					return fmt.Errorf("trace: thread %d has interior OpEnd at %d", tid, i)
+				}
+			case OpBarrier:
+				b++
+			case OpAccess, OpAtomic:
+				addr.LevelOf(addr.Addr(op.Addr)) // panics on stray address
+			case OpDMA:
+				addr.LevelOf(addr.Addr(op.Addr))
+				addr.LevelOf(addr.Addr(op.Addr2))
+			}
+		}
+		if barriers == -1 {
+			barriers = b
+		} else if b != barriers {
+			return fmt.Errorf("trace: thread %d reached %d barriers, thread 0 reached %d",
+				tid, b, barriers)
+		}
+	}
+	return nil
+}
+
+// LevelCounts tallies line transfers per memory level, split by direction.
+// This is the raw material for Table I's access columns and for the
+// block-transfer model validation (Theorem 6).
+type LevelCounts struct {
+	FarReads   uint64
+	FarWrites  uint64
+	NearReads  uint64
+	NearWrites uint64
+	Atomics    uint64
+}
+
+// Far returns total far-memory line transfers.
+func (c LevelCounts) Far() uint64 { return c.FarReads + c.FarWrites }
+
+// Near returns total near-memory line transfers.
+func (c LevelCounts) Near() uint64 { return c.NearReads + c.NearWrites }
+
+// Count tallies the trace's line transfers per level. Note these are the
+// L1-filtered counts; the replay-time shared L2 filters them further before
+// they reach the memory devices.
+func (tr *Trace) Count() LevelCounts {
+	var c LevelCounts
+	for _, s := range tr.Streams {
+		for _, op := range s {
+			switch op.Kind {
+			case OpAccess:
+				switch addr.LevelOf(addr.Addr(op.Addr)) {
+				case addr.Far:
+					if op.Write {
+						c.FarWrites++
+					} else {
+						c.FarReads++
+					}
+				case addr.Near:
+					if op.Write {
+						c.NearWrites++
+					} else {
+						c.NearReads++
+					}
+				}
+			case OpAtomic:
+				c.Atomics++
+			}
+		}
+	}
+	return c
+}

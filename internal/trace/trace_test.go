@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/units"
+)
+
+func tinyL1() L1Geometry {
+	return L1Geometry{Capacity: 256, LineSize: 64, Ways: 2} // 4 lines
+}
+
+func TestNilProbeIsNoop(t *testing.T) {
+	var tp *TP
+	// None of these may panic or record anything.
+	tp.Load(addr.FarBase, 8)
+	tp.Store(addr.FarBase, 8)
+	tp.Compute(10)
+	tp.Compare(3)
+	tp.Atomic(addr.FarBase)
+	tp.Barrier()
+	tp.DMA(addr.FarBase, addr.NearBase, 64)
+	tp.DMAWait()
+	if tp.Tid() != 0 {
+		t.Error("nil Tid should be 0")
+	}
+}
+
+func TestL1FilterHitsProduceNoOps(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.Load(addr.FarBase, 8)   // miss: one fill op
+	tp.Load(addr.FarBase+8, 8) // same line: hit, no op
+	tp.Load(addr.FarBase+16, 8)
+	tr := r.Finish()
+	var fills int
+	for _, op := range tr.Streams[0] {
+		if op.Kind == OpAccess && !op.Write {
+			fills++
+		}
+	}
+	if fills != 1 {
+		t.Errorf("fills = %d, want 1 (L1 should absorb same-line accesses)", fills)
+	}
+}
+
+func TestGapAccounting(t *testing.T) {
+	c := DefaultCosts()
+	r := NewRecorder(1, tinyL1(), c)
+	tp := r.Thread(0)
+	tp.Compute(100)
+	tp.Load(addr.FarBase, 8) // miss
+	tr := r.Finish()
+	op := tr.Streams[0][0]
+	if op.Kind != OpAccess || op.Write {
+		t.Fatalf("first op = %+v", op)
+	}
+	if want := uint32(100 + c.IssueCycles); op.Gap != want {
+		t.Errorf("gap = %d, want %d", op.Gap, want)
+	}
+}
+
+func TestHitLatencyFoldsIntoGap(t *testing.T) {
+	c := DefaultCosts()
+	r := NewRecorder(1, tinyL1(), c)
+	tp := r.Thread(0)
+	tp.Load(addr.FarBase, 8)   // miss (gap flushed into it)
+	tp.Load(addr.FarBase+8, 8) // hit: issue+hit cycles pend
+	tp.Load(addr.FarBase+64, 8)
+	tr := r.Finish()
+	second := tr.Streams[0][1]
+	if want := uint32(c.IssueCycles + c.L1HitCycles + c.IssueCycles); second.Gap != want {
+		t.Errorf("gap = %d, want %d", second.Gap, want)
+	}
+}
+
+func TestDirtyEvictionEmitsWriteback(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.Store(addr.FarBase, 8) // dirty line in set 0
+	// Evict it: tiny L1 has 2 sets of 2 ways; lines 128B apart share a set.
+	tp.Load(addr.FarBase+128, 8)
+	tp.Load(addr.FarBase+256, 8) // evicts the dirty line
+	tr := r.Finish()
+	var wbs int
+	for _, op := range tr.Streams[0] {
+		if op.Kind == OpAccess && op.Write && op.Addr == uint64(addr.FarBase) {
+			wbs++
+		}
+	}
+	if wbs != 1 {
+		t.Errorf("writebacks of dirty line = %d, want 1", wbs)
+	}
+}
+
+func TestFinishFlushesDirtyLines(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.Store(addr.NearBase, 8)
+	tr := r.Finish()
+	c := tr.Count()
+	if c.NearWrites != 1 {
+		t.Errorf("NearWrites = %d, want 1 (final flush)", c.NearWrites)
+	}
+	last := tr.Streams[0][len(tr.Streams[0])-1]
+	if last.Kind != OpEnd {
+		t.Errorf("stream must end with OpEnd, got %+v", last)
+	}
+}
+
+func TestFinishTwicePanics(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	r.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Finish()
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.Load(addr.FarBase+60, 16) // straddles two lines
+	tr := r.Finish()
+	var fills int
+	for _, op := range tr.Streams[0] {
+		if op.Kind == OpAccess && !op.Write {
+			fills++
+		}
+	}
+	if fills != 2 {
+		t.Errorf("fills = %d, want 2 for straddling access", fills)
+	}
+}
+
+func TestCountByLevel(t *testing.T) {
+	r := NewRecorder(2, tinyL1(), DefaultCosts())
+	r.Thread(0).Load(addr.FarBase, 8)
+	r.Thread(0).Store(addr.NearBase, 8)
+	r.Thread(1).Load(addr.NearBase+4096, 8)
+	r.Thread(1).Atomic(addr.FarBase + 4096)
+	tr := r.Finish()
+	c := tr.Count()
+	// Thread 0's store misses write-allocate (one near fill) and the dirty
+	// line flushes at Finish (one near writeback); thread 1 adds a near
+	// fill. Hence 2 near reads + 1 near write.
+	if c.FarReads != 1 || c.NearReads != 2 || c.NearWrites != 1 || c.Atomics != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Far() != 1 || c.Near() != 3 {
+		t.Errorf("totals: far=%d near=%d", c.Far(), c.Near())
+	}
+}
+
+func TestValidateCatchesBarrierMismatch(t *testing.T) {
+	r := NewRecorder(2, tinyL1(), DefaultCosts())
+	r.Thread(0).Barrier()
+	tr := r.Finish()
+	if err := tr.Validate(); err == nil {
+		t.Error("expected barrier-mismatch error")
+	}
+}
+
+func TestValidateAcceptsBalancedTrace(t *testing.T) {
+	r := NewRecorder(3, tinyL1(), DefaultCosts())
+	for i := 0; i < 3; i++ {
+		tp := r.Thread(i)
+		tp.Load(addr.FarBase+addr.Addr(i*4096), 8)
+		tp.Barrier()
+		tp.Store(addr.NearBase+addr.Addr(i*4096), 8)
+		tp.Barrier()
+	}
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if tr.Ops() == 0 {
+		t.Error("Ops = 0")
+	}
+}
+
+func TestAtomicEmitsEveryTime(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	for i := 0; i < 5; i++ {
+		tp.Atomic(addr.FarBase)
+	}
+	tr := r.Finish()
+	if c := tr.Count(); c.Atomics != 5 {
+		t.Errorf("atomics = %d, want 5 (atomics bypass the L1 filter)", c.Atomics)
+	}
+}
+
+func TestDMARecorded(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.DMA(addr.FarBase, addr.NearBase, 4096)
+	tp.DMAWait()
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.Streams[0][0].Kind != OpDMA || tr.Streams[0][1].Kind != OpDMAWait {
+		t.Errorf("stream = %+v", tr.Streams[0][:2])
+	}
+}
+
+func TestViewGetSet(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	v := U64{Base: addr.FarBase, D: make([]uint64, 16)}
+	v.Set(tp, 3, 42)
+	if got := v.Get(tp, 3); got != 42 {
+		t.Errorf("Get = %d", got)
+	}
+	sub := v.Slice(2, 6)
+	if sub.Len() != 4 {
+		t.Errorf("sub len = %d", sub.Len())
+	}
+	if got := sub.Get(tp, 1); got != 42 {
+		t.Errorf("sub.Get(1) = %d, want 42 (aliasing)", got)
+	}
+	if sub.Addr(1) != v.Addr(3) {
+		t.Error("sub-view addresses misaligned")
+	}
+}
+
+func TestViewCopy(t *testing.T) {
+	src := U64{Base: addr.FarBase, D: []uint64{1, 2, 3}}
+	dst := U64{Base: addr.NearBase, D: make([]uint64, 3)}
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	Copy(r.Thread(0), dst, src)
+	if dst.D[2] != 3 {
+		t.Error("Copy did not copy data")
+	}
+	tr := r.Finish()
+	c := tr.Count()
+	if c.FarReads == 0 || c.NearWrites == 0 {
+		t.Errorf("Copy traffic not recorded: %+v", c)
+	}
+}
+
+func TestViewCopyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Copy(nil, U64{D: make([]uint64, 2)}, U64{D: make([]uint64, 3)})
+}
+
+func TestI64View(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	v := I64{Base: addr.NearBase, D: make([]int64, 8)}
+	v.Set(tp, 0, -5)
+	if v.Get(tp, 0) != -5 {
+		t.Error("I64 get/set broken")
+	}
+	if got := v.AtomicAdd(tp, 0, 7); got != 2 {
+		t.Errorf("AtomicAdd = %d, want 2", got)
+	}
+	s := v.Slice(0, 2)
+	if s.Len() != 2 || s.Get(tp, 0) != 2 {
+		t.Error("I64 slice broken")
+	}
+}
+
+func TestGapOverflowSplits(t *testing.T) {
+	r := NewRecorder(1, tinyL1(), DefaultCosts())
+	tp := r.Thread(0)
+	tp.Compute(5_000_000_000) // exceeds uint32
+	tp.Load(addr.FarBase, 8)
+	tr := r.Finish()
+	var total uint64
+	for _, op := range tr.Streams[0] {
+		total += uint64(op.Gap)
+	}
+	if want := uint64(5_000_000_000 + 1); total != want {
+		t.Errorf("total gap = %d, want %d", total, want)
+	}
+	if tr.Streams[0][0].Kind != OpGap {
+		t.Errorf("expected leading OpGap, got %+v", tr.Streams[0][0])
+	}
+}
+
+func TestDefaultL1MatchesPaper(t *testing.T) {
+	g := DefaultL1()
+	if g.Capacity != 16*units.KiB || g.LineSize != 64 || g.Ways != 2 {
+		t.Errorf("DefaultL1 = %+v", g)
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	for _, d := range All() {
+		got, err := Parse(string(d))
+		if err != nil || got != d {
+			t.Errorf("Parse(%q) = %v, %v", d, got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	for _, d := range All() {
+		a := make([]uint64, 4096)
+		b := make([]uint64, 4096)
+		Fill(a, d, 7)
+		Fill(b, d, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := make([]uint64, 1024)
+	b := make([]uint64, 1024)
+	Fill(a, Uniform, 1)
+	Fill(b, Uniform, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func isSorted(a []uint64) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	a := make([]uint64, 4096)
+	Fill(a, Sorted, 3)
+	if !isSorted(a) {
+		t.Error("Sorted distribution not sorted")
+	}
+	Fill(a, Reverse, 3)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] < a[i] {
+			t.Fatal("Reverse distribution not decreasing")
+		}
+	}
+}
+
+func TestFewKeysCardinality(t *testing.T) {
+	a := make([]uint64, 8192)
+	Fill(a, FewKeys, 5)
+	seen := map[uint64]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	if len(seen) > 16 {
+		t.Errorf("FewKeys produced %d distinct values", len(seen))
+	}
+	if len(seen) < 8 {
+		t.Errorf("FewKeys produced only %d distinct values", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	a := make([]uint64, 1<<15)
+	Fill(a, Zipf, 9)
+	counts := map[uint64]int{}
+	for _, v := range a {
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The head rank of a zipf(1.1) should dominate: far more than the
+	// uniform expectation, far less than everything.
+	if max < len(a)/100 {
+		t.Errorf("zipf head count %d too small for heavy tail", max)
+	}
+	if max == len(a) {
+		t.Error("zipf degenerated to a constant")
+	}
+	if len(counts) < 100 {
+		t.Errorf("zipf produced only %d distinct values", len(counts))
+	}
+}
+
+func TestRunBlendRuns(t *testing.T) {
+	a := make([]uint64, 1<<14)
+	Fill(a, RunBlend, 11)
+	if isSorted(a) {
+		t.Error("RunBlend should not be globally sorted")
+	}
+	// Each 16th must be sorted.
+	run := (len(a) + 15) / 16
+	for lo := 0; lo < len(a); lo += run {
+		hi := lo + run
+		if hi > len(a) {
+			hi = len(a)
+		}
+		if !isSorted(a[lo:hi]) {
+			t.Fatalf("run at %d not sorted", lo)
+		}
+	}
+}
+
+func TestGaussianCentered(t *testing.T) {
+	a := make([]uint64, 1<<14)
+	Fill(a, Gaussian, 13)
+	// Mean of 8 uniforms over [0, 2^61) sums to ~2^63; check the sample
+	// mean is within 5% of that.
+	var mean float64
+	for _, v := range a {
+		mean += float64(v) / float64(len(a))
+	}
+	center := float64(uint64(1) << 63)
+	if mean < center*0.95 || mean > center*1.05 {
+		t.Errorf("gaussian mean %.3g, want ~%.3g", mean, center)
+	}
+}
+
+func TestFillUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fill(make([]uint64, 8), Dist("bogus"), 1)
+}
