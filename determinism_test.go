@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// recordReplayDigests runs the full pipeline — native record of NMsort under
+// instrumentation, then replay on a simulated node — and returns a SHA-256
+// over the serialized trace bytes plus a rendering of every field of the
+// simulation result. Bit-identical digests across runs are the property the
+// whole experimental methodology rests on (and what nmlint polices
+// statically).
+func recordReplayDigests(t *testing.T, w harness.Workload) (traceDigest, resultDigest string) {
+	t.Helper()
+	rec, err := harness.Record(harness.AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+
+	res, err := machine.Run(harness.NodeFor(w.Threads, 16, w.SP), rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// %+v covers every stat the simulator reports, including the per-barrier
+	// release times — a full timeline fingerprint, not just the end time.
+	return hex.EncodeToString(sum[:]), fmt.Sprintf("%+v", res)
+}
+
+// TestRecordReplayDeterminism runs the record→replay pipeline twice in one
+// process, then a third time under a different GOMAXPROCS, and demands
+// bit-identical trace and result digests. Record time really forks p
+// goroutines, so this catches any scheduling- or parallelism-dependent
+// leak into the recorded streams; replay is single-threaded and must be a
+// pure function of the trace.
+func TestRecordReplayDeterminism(t *testing.T) {
+	w := harness.Workload{N: 1 << 13, Seed: 7, Threads: 8, SP: 64 * units.KiB}
+
+	tr1, res1 := recordReplayDigests(t, w)
+	tr2, res2 := recordReplayDigests(t, w)
+	if tr1 != tr2 {
+		t.Errorf("trace digest differs between identical runs: %s vs %s", tr1, tr2)
+	}
+	if res1 != res2 {
+		t.Errorf("replay result differs between identical runs:\n%s\nvs\n%s", res1, res2)
+	}
+
+	// Re-run with a different degree of host parallelism: logical threads
+	// multiplex differently onto OS threads, every barrier interleaving
+	// changes, and the digests still may not move.
+	old := runtime.GOMAXPROCS(0)
+	alt := 1
+	if old == 1 {
+		alt = 2
+	}
+	runtime.GOMAXPROCS(alt)
+	defer runtime.GOMAXPROCS(old)
+	tr3, res3 := recordReplayDigests(t, w)
+	if tr1 != tr3 {
+		t.Errorf("trace digest depends on GOMAXPROCS (%d vs %d): %s vs %s", old, alt, tr1, tr3)
+	}
+	if res1 != res3 {
+		t.Errorf("replay result depends on GOMAXPROCS (%d vs %d):\n%s\nvs\n%s", old, alt, res1, res3)
+	}
+}

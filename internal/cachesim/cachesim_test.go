@@ -219,12 +219,14 @@ func TestWritebackConservation(t *testing.T) {
 		c := New(512, 64, 2)
 		dirtied := map[uint64]int{} // line -> writes observed
 		wb := uint64(0)
+		var writes uint64
 		for _, op := range ops {
 			a := uint64(op%32) * 64
 			write := op%3 == 0
 			r := c.Access(a, write)
 			if write {
 				dirtied[a&^63]++
+				writes++
 			}
 			if r.HasWB {
 				wb++
@@ -237,10 +239,6 @@ func TestWritebackConservation(t *testing.T) {
 		// re-dirtying, bounds are: distinct-dirty <= wb is false (a line
 		// can be evicted dirty multiple times). Conservation bound: wb >= 1
 		// if any write happened, and wb <= total writes.
-		var writes uint64
-		for _, n := range dirtied {
-			writes += uint64(n)
-		}
 		if writes == 0 {
 			return wb == 0
 		}

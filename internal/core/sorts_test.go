@@ -253,15 +253,10 @@ func TestPMSortStandalone(t *testing.T) {
 	}
 }
 
-// runAll drives a phase function from p plain goroutines (pure mode).
+// runAll drives a phase function from p logical threads in pure mode
+// (nil recorder, so every probe is nil) through the par.Run fork-join.
 func runAll(p int, f func(tid int, tp *trace.TP)) {
-	done := make(chan struct{})
-	for i := 0; i < p; i++ {
-		go func(tid int) { f(tid, nil); done <- struct{}{} }(i)
-	}
-	for i := 0; i < p; i++ {
-		<-done
-	}
+	par.Run(p, nil, f)
 }
 
 func TestNMSortSmallAppendsCorrect(t *testing.T) {

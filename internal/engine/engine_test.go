@@ -118,6 +118,87 @@ func TestStepAndPending(t *testing.T) {
 	}
 }
 
+// TestFIFOTieBreakAcrossHeapChurn grows and shrinks the heap while a
+// population of same-timestamp events is resident: each wave adds a batch
+// of t=1000 events (heap growth, sift-ups) and then drains a batch of
+// earlier filler events (heap shrink, sift-downs rearranging the array).
+// The physical positions of the t=1000 events get shuffled thoroughly; the
+// seq tie-break must still run them in exact schedule order.
+func TestFIFOTieBreakAcrossHeapChurn(t *testing.T) {
+	s := New()
+	var order []int
+	next := 0
+	for wave := 0; wave < 8; wave++ {
+		for i := 0; i < 25; i++ {
+			id := next
+			next++
+			s.At(1000, func() { order = append(order, id) })
+		}
+		for i := 0; i < 40; i++ {
+			s.At(units.Time(wave*100+i%13), func() {})
+		}
+		if s.RunUntil(units.Time(wave*100 + 99)) {
+			t.Fatal("queue drained early: the t=1000 cohort should remain")
+		}
+	}
+	s.Run()
+	if len(order) != next {
+		t.Fatalf("ran %d tied events, want %d", len(order), next)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated after heap churn: position %d got event %d", i, v)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New()
+	if _, ok := s.events.Peek(); ok {
+		t.Error("Peek on empty heap should report !ok")
+	}
+	s.At(30, func() {})
+	s.At(10, func() {})
+	s.At(20, func() {})
+	head, ok := s.events.Peek()
+	if !ok || head.at != 10 {
+		t.Errorf("Peek = (%v, %v), want earliest event at 10", head.at, ok)
+	}
+	if s.Pending() != 3 {
+		t.Errorf("Peek must not consume: Pending = %d, want 3", s.Pending())
+	}
+	// Peek tracks the minimum as the heap drains.
+	s.Step()
+	if head, ok := s.events.Peek(); !ok || head.at != 20 {
+		t.Errorf("after one Step, Peek at %v, want 20", head.at)
+	}
+}
+
+func TestRunUntilEmptyAndEarlyDeadline(t *testing.T) {
+	s := New()
+	if !s.RunUntil(100) {
+		t.Error("RunUntil on an empty queue must report drained")
+	}
+	if s.Now() != 0 {
+		t.Errorf("RunUntil with nothing to run must not advance time, now = %v", s.Now())
+	}
+	ran := false
+	s.At(50, func() { ran = true })
+	if s.RunUntil(49) {
+		t.Error("deadline before the first event: queue must not drain")
+	}
+	if ran || s.Now() != 0 {
+		t.Errorf("no event may run before its time: ran=%v now=%v", ran, s.Now())
+	}
+	// A deadline exactly at the event's timestamp is inclusive.
+	if !s.RunUntil(50) || !ran {
+		t.Error("RunUntil deadline is inclusive of events at the deadline")
+	}
+	if s.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1", s.Executed())
+	}
+}
+
 // TestDeterminism runs the same randomized workload twice and demands
 // identical execution traces — the property the whole simulator depends on.
 func TestDeterminism(t *testing.T) {

@@ -1,0 +1,207 @@
+// Package lint is nmlint's engine: a repo-specific static-analysis suite
+// that enforces the determinism and concurrency invariants the simulator's
+// replay methodology depends on. The discrete-event kernel promises that a
+// given component graph and input trace always produce bit-identical
+// results; these analyzers make the promise checkable. Everything here uses
+// only the standard library (go/ast, go/parser, go/token, go/types) — the
+// module is dependency-free and must stay so.
+//
+// The five analyzers:
+//
+//   - nowallclock: no time.Now/Since/Sleep (or timers) in simulator
+//     packages, where all time must be units.Time.
+//   - noglobalrand: no math/rand global-source functions anywhere outside
+//     internal/xrand, so every random stream is seeded and replayable.
+//   - sortedmaprange: no ranging over maps in simulator packages — map
+//     iteration order feeding the event queue destroys FIFO tie-breaking.
+//   - paronlygoroutines: no raw go statements in non-test code outside
+//     internal/par; all parallelism goes through the p-thread abstraction.
+//   - unitslit: no bare untyped integer literals passed where units.Time or
+//     units.Bytes parameters are expected (literal 0 is unit-safe).
+//
+// A finding can be suppressed with a comment on the same line or the line
+// above: //nmlint:ignore <analyzer> [reason].
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line: [analyzer] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// ReportFunc is the callback analyzers emit diagnostics through.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short name used in diagnostics and ignore comments
+	Doc  string // one-line description
+	Run  func(u *Unit, report ReportFunc)
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoWallClock,
+		NoGlobalRand,
+		SortedMapRange,
+		ParOnlyGoroutines,
+		UnitsLit,
+	}
+}
+
+// simulatorPackages are the import-path suffixes (under the module path)
+// whose code runs inside, or records input for, the discrete-event
+// simulation. Rules that guard replay determinism apply only here.
+var simulatorPackages = map[string]bool{
+	"internal/engine":   true,
+	"internal/machine":  true,
+	"internal/dram":     true,
+	"internal/noc":      true,
+	"internal/trace":    true,
+	"internal/cachesim": true,
+	"internal/spmem":    true,
+}
+
+// IsSimulatorPackage reports whether the import path (relative to the
+// module) is one of the simulator packages.
+func (u *Unit) IsSimulatorPackage() bool {
+	return simulatorPackages[u.RelPath()]
+}
+
+// RelPath returns the unit's import path relative to the module path
+// ("internal/engine" for "repro/internal/engine").
+func (u *Unit) RelPath() string {
+	if u.ImportPath == u.ModulePath {
+		return "."
+	}
+	return strings.TrimPrefix(u.ImportPath, u.ModulePath+"/")
+}
+
+// Run executes every analyzer over every unit of the module and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(mod *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range mod.Units() {
+		diags = append(diags, RunUnit(u, Analyzers())...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// RunUnit executes the given analyzers over one unit, applying suppression
+// comments.
+func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	ignores := collectIgnores(u)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(u, func(pos token.Pos, format string, args ...any) {
+			p := u.Fset.Position(pos)
+			if ignores.suppressed(p, a.Name) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p,
+				File:     p.Filename,
+				Line:     p.Line,
+				Col:      p.Column,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+	return diags
+}
+
+// ignoreSet maps file → line → set of suppressed analyzer names. The special
+// name "all" suppresses every analyzer.
+type ignoreSet map[string]map[int][]string
+
+const ignorePrefix = "//nmlint:ignore"
+
+// collectIgnores scans every comment in the unit for suppression directives.
+// A directive suppresses findings on its own line and on the line directly
+// below (so it can sit above the flagged statement).
+func collectIgnores(u *Unit) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				p := u.Fset.Position(c.Pos())
+				byLine := set[p.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[p.Filename] = byLine
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					byLine[p.Line] = append(byLine[p.Line], name)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppressed(p token.Position, analyzer string) bool {
+	byLine := s[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" when it is not a package name.
+func pkgNameOf(u *Unit, id *ast.Ident) string {
+	if obj, ok := u.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,183 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches a "// want" marker with an optional expected count:
+// "// want" (one diagnostic) or "// want 2".
+var wantRe = regexp.MustCompile(`// want(?: (\d+))?\s*$`)
+
+// wantMarkers scans every .go file in dir for want markers and returns the
+// expected diagnostic count per file:line.
+func wantMarkers(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			n := 1
+			if m[1] != "" {
+				n, _ = strconv.Atoi(m[1])
+			}
+			want[fmt.Sprintf("%s:%d", path, line)] = n
+		}
+		f.Close()
+	}
+	return want
+}
+
+// moduleRoot locates the repository root from the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// checkFixture loads testdata/<name> under importPath, runs the single
+// analyzer, and compares diagnostics against the fixture's want markers.
+func checkFixture(t *testing.T, a *lint.Analyzer, name, importPath string) {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", name)
+	u, err := lint.LoadDirAs(root, dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := lint.RunUnit(u, []*lint.Analyzer{a})
+
+	got := map[string]int{}
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			t.Errorf("diagnostic from wrong analyzer: %s", d)
+		}
+		got[fmt.Sprintf("%s:%d", d.File, d.Line)]++
+	}
+	want := wantMarkers(t, dir)
+	for loc, n := range want {
+		if got[loc] != n {
+			t.Errorf("%s: want %d diagnostic(s), got %d", loc, n, got[loc])
+		}
+	}
+	for loc, n := range got {
+		if want[loc] == 0 {
+			t.Errorf("%s: unexpected diagnostic(s) (%d): %v", loc, n, diags)
+		}
+	}
+}
+
+func TestNoWallClockFixture(t *testing.T) {
+	// Loaded as a simulator package, every clock read fires.
+	checkFixture(t, lint.NoWallClock, "wallclock", "repro/internal/engine")
+}
+
+func TestNoWallClockScopedToSimulatorPackages(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "wallclock")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunUnit(u, []*lint.Analyzer{lint.NoWallClock}); len(diags) != 0 {
+		t.Errorf("non-simulator package should be exempt, got %v", diags)
+	}
+}
+
+func TestNoGlobalRandFixture(t *testing.T) {
+	// Applies everywhere outside internal/xrand.
+	checkFixture(t, lint.NoGlobalRand, "globalrand", "repro/internal/workload")
+}
+
+func TestNoGlobalRandExemptsXrand(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "globalrand")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/xrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunUnit(u, []*lint.Analyzer{lint.NoGlobalRand}); len(diags) != 0 {
+		t.Errorf("internal/xrand should be exempt, got %v", diags)
+	}
+}
+
+func TestSortedMapRangeFixture(t *testing.T) {
+	checkFixture(t, lint.SortedMapRange, "maprange", "repro/internal/machine")
+}
+
+func TestSortedMapRangeScopedToSimulatorPackages(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "maprange")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunUnit(u, []*lint.Analyzer{lint.SortedMapRange}); len(diags) != 0 {
+		t.Errorf("non-simulator package should be exempt, got %v", diags)
+	}
+}
+
+func TestParOnlyGoroutinesFixture(t *testing.T) {
+	checkFixture(t, lint.ParOnlyGoroutines, "goroutine", "repro/internal/core")
+}
+
+func TestParOnlyGoroutinesExemptsPar(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "goroutine")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunUnit(u, []*lint.Analyzer{lint.ParOnlyGoroutines}); len(diags) != 0 {
+		t.Errorf("internal/par should be exempt, got %v", diags)
+	}
+}
+
+func TestUnitsLitFixture(t *testing.T) {
+	checkFixture(t, lint.UnitsLit, "unitslit", "repro/internal/lintfixture")
+}
+
+// TestWholeModuleClean is the self-referential acceptance gate: the suite
+// must load, type-check, and pass every analyzer over this repository.
+func TestWholeModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is the slow path; covered by scripts/check.sh")
+	}
+	mod, err := lint.Load(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Units()) < 20 {
+		t.Fatalf("suspiciously few units loaded: %d", len(mod.Units()))
+	}
+	for _, d := range lint.Run(mod) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,19 @@
+// Package fixture seeds noglobalrand violations: math/rand's package-level
+// functions draw from the shared, unseeded global source.
+package fixture
+
+import "math/rand"
+
+// Pivot picks a random pivot from the global source — unreplayable.
+func Pivot(n int) int {
+	return rand.Intn(n) // want
+}
+
+// Mix uses more global-source functions.
+func Mix(keys []uint64) {
+	rand.Shuffle(len(keys), func(i, j int) { // want
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	keys[0] = rand.Uint64() // want
+	_ = rand.Float64()      // want
+}

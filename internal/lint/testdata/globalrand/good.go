@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"math/rand"
+
+	"repro/internal/xrand"
+)
+
+// Seeded draws from an explicitly seeded generator: methods on an instance
+// are tolerated (the constructors New/NewSource are not global-source), and
+// the repository idiom — a seeded *xrand.RNG — is what the diagnostic
+// recommends.
+func Seeded(seed uint64, n int) int {
+	legacy := rand.New(rand.NewSource(int64(seed)))
+	_ = legacy.Intn(n)
+	return xrand.New(seed).Intn(n)
+}

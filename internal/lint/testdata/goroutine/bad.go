@@ -1,0 +1,21 @@
+// Package fixture seeds paronlygoroutines violations: raw go statements in
+// non-test code outside internal/par.
+package fixture
+
+// Race forks unjoined goroutines mutating shared state — the hazard the
+// rule exists to prevent.
+func Race(counts []int) {
+	for i := range counts {
+		i := i
+		go func() { // want
+			counts[i]++
+		}()
+	}
+}
+
+// Background leaks a goroutine past its caller.
+func Background(ch chan int) {
+	go produce(ch) // want
+}
+
+func produce(ch chan int) { ch <- 1 }

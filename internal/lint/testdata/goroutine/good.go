@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// Fanout routes its parallelism through the p-thread abstraction: threads
+// are statically partitioned, joined, and panic-propagating.
+func Fanout(counts []int, p int) {
+	par.Run(p, nil, func(tid int, tp *trace.TP) {
+		lo, hi := par.Span(len(counts), p, tid)
+		for i := lo; i < hi; i++ {
+			counts[i]++
+		}
+	})
+}

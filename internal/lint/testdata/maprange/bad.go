@@ -1,0 +1,20 @@
+// Package fixture seeds sortedmaprange violations. The test loads this
+// directory under a simulator import path; the same files loaded under a
+// non-simulator path must produce no diagnostics.
+package fixture
+
+// Drain visits pending events in map order — the exact bug class that
+// breaks FIFO tie-breaking in the event queue.
+func Drain(pending map[uint64]func()) {
+	for _, fn := range pending { // want
+		fn()
+	}
+}
+
+// Keys iterates keys but does more than collect them, so order leaks.
+func Keys(m map[int]int) (sum int) {
+	for k := range m { // want
+		sum += k
+	}
+	return sum
+}

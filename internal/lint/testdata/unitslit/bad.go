@@ -1,0 +1,33 @@
+// Package fixture seeds unitslit violations: bare untyped integer literals
+// at call sites whose parameters are units.Time or units.Bytes.
+package fixture
+
+import "repro/internal/units"
+
+type link struct{ lat units.Time }
+
+func (l *link) setLatency(t units.Time) { l.lat = t }
+
+func configure(lat units.Time, line units.Bytes) units.Time {
+	return lat + units.Time(line)
+}
+
+func waitAll(deadlines ...units.Time) units.Time {
+	var max units.Time
+	for _, d := range deadlines {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Bad passes unitless magic numbers: picoseconds? nanoseconds? lines?
+func Bad() units.Time {
+	var l link
+	l.setLatency(20000)       // want
+	t := configure(100, 4096) // want 2
+	t += configure(-5, 0)     // want
+	t += waitAll(7, 9)        // want 2
+	return t
+}

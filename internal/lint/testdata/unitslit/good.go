@@ -1,0 +1,22 @@
+package fixture
+
+import "repro/internal/units"
+
+// l2Latency is a named constant: the unit is pinned at the declaration.
+const l2Latency = 10 * units.Nanosecond
+
+// Good spells every quantity's unit at the call site.
+func Good() units.Time {
+	var l link
+	l.setLatency(20 * units.Nanosecond)
+	t := configure(l2Latency, 4*units.KiB)
+	t += configure(0, 0)                            // zero is unit-safe
+	t += configure(units.Time(99), units.Bytes(64)) // explicit conversions pin the unit
+	t += waitAll()                                  // empty variadic
+	ds := []units.Time{t}
+	t += waitAll(ds...) // spread slice, not a literal element
+	return t + plain(42)
+}
+
+// plain takes an ordinary int; bare literals are fine here.
+func plain(n int) units.Time { return units.Time(n) }

@@ -1,0 +1,21 @@
+// Package fixture seeds nowallclock violations. The test loads this
+// directory under a simulator import path, so every host-clock read below
+// must be flagged.
+package fixture
+
+import "time"
+
+// Elapsed measures host time — exactly what a simulator component must
+// never do.
+func Elapsed() time.Duration {
+	start := time.Now()          // want
+	time.Sleep(time.Millisecond) // want
+	return time.Since(start)     // want
+}
+
+// Deadline uses timer plumbing, which reads the clock indirectly.
+func Deadline() {
+	t := time.NewTimer(time.Second) // want
+	<-t.C
+	<-time.After(time.Second) // want
+}

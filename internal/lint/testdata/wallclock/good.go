@@ -1,0 +1,26 @@
+package fixture
+
+import "time"
+
+// Epoch uses time only for pure value construction — no clock reads, so
+// nothing here may be flagged.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// Scale does duration arithmetic on constants, which is allowed.
+func Scale(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Suppressed exercises the ignore directive: a real violation silenced by
+// an explanatory comment.
+func Suppressed() time.Time {
+	return time.Now() //nmlint:ignore nowallclock fixture: proves suppression works
+}
+
+// SuppressedAbove exercises the directive on the preceding line.
+func SuppressedAbove() time.Time {
+	//nmlint:ignore nowallclock fixture: preceding-line form
+	return time.Now()
+}

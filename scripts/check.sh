@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh — the one-command tier-1 verification pipeline.
+#
+# Runs, in order:
+#   1. go build ./...                 compile everything
+#   2. go run ./cmd/nmlint ./...      determinism & concurrency lint suite
+#   3. go vet ./...                   the stock vet checks
+#   4. go test ./...                  full test suite (includes the
+#                                     record→replay determinism regression)
+#   5. go test -race -short ./...     race detector over the short suite
+#
+# Any stage failing fails the whole script. Run from anywhere inside the
+# repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() {
+	echo "== $* =="
+	"$@"
+}
+
+step go build ./...
+step go run ./cmd/nmlint ./...
+step go vet ./...
+step go test ./...
+step go test -race -short ./...
+
+echo "== all checks passed =="
