@@ -93,6 +93,9 @@ func New(sim *engine.Sim, cfg Config, base addr.Addr) *Device {
 	if cfg.Channels <= 0 || cfg.Banks <= 0 {
 		panic("dram: need at least one channel and bank")
 	}
+	if cfg.LineSize <= 0 || cfg.RowBytes < cfg.LineSize {
+		panic("dram: row buffer must hold at least one line")
+	}
 	d := &Device{cfg: cfg, base: base, channels: make([]channel, cfg.Channels)}
 	for i := range d.channels {
 		d.channels[i] = channel{
@@ -106,11 +109,21 @@ func New(sim *engine.Sim, cfg Config, base addr.Addr) *Device {
 // Access services one line transfer arriving at time at and returns its
 // completion time. The request experiences the bank's row-buffer latency
 // followed by the channel data-bus occupancy.
+//
+// Address mapping: lines are interleaved across channels (channel =
+// line mod Channels), so a channel sees every Channels-th line. Each
+// channel has its own banks and row buffers, so the row index derives from
+// the channel-local line index (line div Channels): channel-local row
+// RowBytes/LineSize lines wide, bank = row mod Banks. Deriving the row
+// from the global offset instead would smear one "row" across all
+// channels and misattribute row hits.
 func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 	off := uint64(a - d.base)
 	line := off / uint64(d.cfg.LineSize)
-	ch := &d.channels[line%uint64(len(d.channels))]
-	row := off / uint64(d.cfg.RowBytes)
+	nch := uint64(len(d.channels))
+	ch := &d.channels[line%nch]
+	chLine := line / nch
+	row := chLine / (uint64(d.cfg.RowBytes) / uint64(d.cfg.LineSize))
 	bk := &ch.banks[row%uint64(d.cfg.Banks)]
 
 	var lat units.Time
@@ -138,8 +151,10 @@ func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 // BulkAcquire reserves channel bandwidth for n bytes spread evenly across
 // all channels starting at time at, returning when the slowest channel
 // finishes. Used by the DMA engines, which stream large extents without
-// per-line commands.
-func (d *Device) BulkAcquire(at units.Time, n units.Bytes) units.Time {
+// per-line commands. write selects the accounting direction: the device a
+// copy streams out of counts the transfer as Reads, the device it lands in
+// counts it as Writes, so Table I access counts stay direction-faithful.
+func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Time {
 	per := units.Bytes(units.CeilDiv(int64(n), int64(len(d.channels))))
 	var done units.Time
 	for i := range d.channels {
@@ -147,7 +162,12 @@ func (d *Device) BulkAcquire(at units.Time, n units.Bytes) units.Time {
 			done = t
 		}
 	}
-	d.stats.Reads += uint64(units.CeilDiv(int64(n), int64(d.cfg.LineSize)))
+	lines := uint64(units.CeilDiv(int64(n), int64(d.cfg.LineSize)))
+	if write {
+		d.stats.Writes += lines
+	} else {
+		d.stats.Reads += lines
+	}
 	return done
 }
 
@@ -161,6 +181,18 @@ func (d *Device) Utilization() float64 {
 		u += d.channels[i].bus.Utilization()
 	}
 	return u / float64(len(d.channels))
+}
+
+// BusyUntil returns the latest time any channel data bus is occupied. A
+// drained replay must report SimTime at or after this point.
+func (d *Device) BusyUntil() units.Time {
+	var t units.Time
+	for i := range d.channels {
+		if b := d.channels[i].bus.BusyUntil(); b > t {
+			t = b
+		}
+	}
+	return t
 }
 
 // Config returns the device configuration.

@@ -30,10 +30,11 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 	// First access opens a row (row miss).
 	t1 := d.Access(0, addr.FarBase, false)
 	// Same row, next line on the same channel: channels interleave by
-	// line, so +4 lines returns to channel 0 within the same 8KiB row.
+	// line, so +4 lines returns to channel 0 at channel-local line 1,
+	// still inside channel-local row 0.
 	t2 := d.Access(t1, addr.FarBase+4*64, false) - t1
-	// Different row, same bank (same channel): +rowBytes*banks keeps the
-	// bank index and changes the row -> conflict.
+	// A distant line on the same channel lands in a different
+	// channel-local row (and possibly a different bank).
 	off := addr.Addr(uint64(cfg.RowBytes) * uint64(cfg.Banks))
 	t3 := d.Access(2*t1, addr.FarBase+off, false) // may also be a fresh bank
 	_ = t3
@@ -52,12 +53,13 @@ func TestRowStateTracking(t *testing.T) {
 	if st.RowMisses != 1 || st.RowHits != 1 {
 		t.Errorf("stats = %+v", st)
 	}
-	// Now a conflicting row on the same channel and bank.
+	// Now a conflicting row on the same channel and bank. With 4 channels
+	// the channel-local row spans RowBytes*Channels of the global space:
+	// off = rowBytes*banks*4 -> line = off/64 (line%4 == 0 -> channel 0),
+	// channel-local line = line/4, row = chLine/(rowBytes/64) = banks,
+	// bank = banks%banks = 0. Same bank as row 0, different row: conflict.
 	cfg := d.Config()
 	conflict := addr.FarBase + addr.Addr(uint64(cfg.RowBytes)*uint64(cfg.Banks)*4)
-	// offset by channels factor: row index = off/rowBytes; bank = row%banks.
-	// off = rowBytes*banks*4 -> row = banks*4, bank 0; line = off/64 with
-	// line%4 == 0 -> channel 0. Conflict confirmed.
 	d.Access(2000, conflict, false)
 	if st := d.Stats(); st.RowConflicts != 1 {
 		t.Errorf("conflicts = %d, want 1 (stats %+v)", st.RowConflicts, st)
@@ -112,14 +114,46 @@ func TestSustainedBandwidthNearPeak(t *testing.T) {
 	_ = s
 }
 
+func TestRowMappingChannelLocal(t *testing.T) {
+	// The row buffer is channel-local: global offsets 0 and RowBytes both
+	// map to channel 0 (line%4 == 0) and, because a channel only sees
+	// every 4th line, both fall in channel-local row 0 — a row hit. The
+	// old global mapping (row = off/RowBytes) called the second access a
+	// different row on a different bank.
+	_, d := dev()
+	cfg := d.Config()
+	d.Access(0, addr.FarBase, false)
+	d.Access(1000, addr.FarBase+addr.Addr(cfg.RowBytes), false)
+	st := d.Stats()
+	if st.RowMisses != 1 || st.RowHits != 1 {
+		t.Errorf("channel-local row mapping broken: stats = %+v", st)
+	}
+}
+
 func TestBulkAcquire(t *testing.T) {
 	s, d := dev()
-	done := d.BulkAcquire(0, units.MiB)
+	done := d.BulkAcquire(0, units.MiB, false)
 	// 1MiB over 34GB/s aggregate ≈ 31us.
 	if done < 25*units.Microsecond || done > 45*units.Microsecond {
 		t.Errorf("bulk 1MiB took %v", done)
 	}
 	_ = s
+}
+
+func TestBulkAcquireDirectionStats(t *testing.T) {
+	_, d := dev()
+	lines := uint64(units.MiB / 64)
+	d.BulkAcquire(0, units.MiB, false) // device is the copy's source
+	if st := d.Stats(); st.Reads != lines || st.Writes != 0 {
+		t.Errorf("source bulk transfer miscounted: %+v", st)
+	}
+	d.BulkAcquire(0, units.MiB, true) // device is the copy's destination
+	if st := d.Stats(); st.Reads != lines || st.Writes != lines {
+		t.Errorf("destination bulk transfer miscounted: %+v", st)
+	}
+	if d.BusyUntil() == 0 {
+		t.Error("BusyUntil should reflect the reserved bus time")
+	}
 }
 
 func TestBadConfigPanics(t *testing.T) {

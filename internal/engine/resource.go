@@ -71,6 +71,12 @@ func (r *Resource) Utilization() float64 {
 	return float64(r.busyTime) / float64(r.sim.Now())
 }
 
+// BusyUntil returns the time the current busy period ends (zero when the
+// resource was never acquired). A fully drained simulation satisfies
+// BusyUntil() <= sim.Now() for every resource; callers use this to verify
+// that posted traffic was run to completion.
+func (r *Resource) BusyUntil() units.Time { return r.busyUntil }
+
 // Served returns the number of requests this resource has serviced.
 func (r *Resource) Served() uint64 { return r.served }
 

@@ -6,7 +6,7 @@
 // only the standard library (go/ast, go/parser, go/token, go/types) — the
 // module is dependency-free and must stay so.
 //
-// The five analyzers:
+// The six analyzers:
 //
 //   - nowallclock: no time.Now/Since/Sleep (or timers) in simulator
 //     packages, where all time must be units.Time.
@@ -18,6 +18,11 @@
 //     internal/par; all parallelism goes through the p-thread abstraction.
 //   - unitslit: no bare untyped integer literals passed where units.Time or
 //     units.Bytes parameters are expected (literal 0 is unit-safe).
+//   - simpure: every callback scheduled on engine.Sim.At/After — and every
+//     module-internal helper it calls, transitively — touches only
+//     simulator-owned state: no host I/O, wall clock, channel/sync
+//     operations, or writes to captured variables outside the component
+//     graph.
 //
 // A finding can be suppressed with a comment on the same line or the line
 // above: //nmlint:ignore <analyzer> [reason].
@@ -65,6 +70,7 @@ func Analyzers() []*Analyzer {
 		SortedMapRange,
 		ParOnlyGoroutines,
 		UnitsLit,
+		SimPure,
 	}
 }
 

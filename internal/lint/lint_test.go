@@ -164,6 +164,26 @@ func TestUnitsLitFixture(t *testing.T) {
 	checkFixture(t, lint.UnitsLit, "unitslit", "repro/internal/lintfixture")
 }
 
+func TestSimPureFixture(t *testing.T) {
+	// Loaded as a simulator package so the fixture's own component types
+	// count as simulator-owned.
+	checkFixture(t, lint.SimPure, "simpure", "repro/internal/machine")
+}
+
+func TestSimPureExemptsEngine(t *testing.T) {
+	// The event kernel is the trusted base: the same violating fixture
+	// loaded under internal/engine must produce nothing.
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "simpure")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.RunUnit(u, []*lint.Analyzer{lint.SimPure}); len(diags) != 0 {
+		t.Errorf("internal/engine should be exempt, got %v", diags)
+	}
+}
+
 // TestWholeModuleClean is the self-referential acceptance gate: the suite
 // must load, type-check, and pass every analyzer over this repository.
 func TestWholeModuleClean(t *testing.T) {

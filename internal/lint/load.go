@@ -26,6 +26,12 @@ type Unit struct {
 	TestFiles  map[*ast.File]bool // which Files came from _test.go
 	Pkg        *types.Package
 	Info       *types.Info
+
+	// Mod links back to the whole loaded module when the unit came from
+	// Load; module-wide analyses (simpure's transitive call walk) use it
+	// to resolve callees declared in sibling packages. Units built by
+	// LoadDirAs stand alone and leave it nil.
+	Mod *Module
 }
 
 // Module is a loaded module tree.
@@ -239,6 +245,9 @@ func Load(root string) (*Module, error) {
 				Info:       info,
 			})
 		}
+	}
+	for _, u := range mod.units {
+		u.Mod = mod
 	}
 	return mod, nil
 }

@@ -1,0 +1,78 @@
+// Package simpure is the simpure fixture: bad.go holds the violations
+// (every want marker is one diagnostic), good.go the allowed idioms.
+package simpure
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+var hits int
+
+type comp struct {
+	sim *engine.Sim
+}
+
+// badCaptures: callbacks may not mutate state that lives outside the
+// component graph — captured locals, package-level vars, or anything
+// reached through captured non-component values.
+func badCaptures(sim *engine.Sim) {
+	count := 0
+	m := map[string]int{}
+	p := new(int)
+	sim.At(0, func() {
+		count++    // want
+		hits++     // want
+		m["k"] = 1 // want
+		*p = 2     // want
+	})
+}
+
+// badHost: no host I/O, wall clock, or synchronization inside a callback.
+func badHost(sim *engine.Sim, mu *sync.Mutex, ch chan int) {
+	sim.At(0, func() {
+		fmt.Println("tick")   // want
+		_ = os.Getenv("HOME") // want
+		_ = time.Now()        // want
+		mu.Lock()             // want
+		ch <- 1               // want
+		<-ch                  // want
+		close(ch)             // want
+		go func() {}()        // want
+	})
+}
+
+// badOpaque: a bare function value cannot be traversed, so it is flagged.
+func badOpaque(sim *engine.Sim, f func()) {
+	sim.At(0, f) // want
+}
+
+// badFieldCall: calls through func-typed fields are equally opaque.
+type hooks struct {
+	fn func()
+}
+
+func badFieldCall(sim *engine.Sim, h *hooks) {
+	sim.At(0, func() {
+		h.fn() // want
+	})
+}
+
+// badTransitive: the walk follows method values through module-internal
+// helpers; the violation is reported where it lives, not at the call site.
+func (c *comp) leak() {
+	c.helper()
+}
+
+func (c *comp) helper() {
+	os.Exit(1) // want
+}
+
+func (c *comp) schedule() {
+	c.sim.After(units.Nanosecond, c.leak)
+}

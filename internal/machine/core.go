@@ -179,16 +179,18 @@ func (d *dmaEngine) enqueue(c *core, src, dst addr.Addr, n units.Bytes) {
 	d.issued++
 	d.bytes += uint64(n)
 	now := d.m.sim.Now()
+	// The source device streams the copy out (reads), the destination
+	// absorbs it (writes); each side accounts its own direction.
 	var read, write units.Time
 	if addr.LevelOf(src) == addr.Near {
-		read = d.m.near.BulkAcquire(now, n)
+		read = d.m.near.BulkAcquire(now, n, false)
 	} else {
-		read = d.m.far.BulkAcquire(now, n)
+		read = d.m.far.BulkAcquire(now, n, false)
 	}
 	if addr.LevelOf(dst) == addr.Near {
-		write = d.m.near.BulkAcquire(now, n)
+		write = d.m.near.BulkAcquire(now, n, true)
 	} else {
-		write = d.m.far.BulkAcquire(now, n)
+		write = d.m.far.BulkAcquire(now, n, true)
 	}
 	done := read
 	if write > done {

@@ -264,16 +264,25 @@ func (m *Machine) writeback(g int, a addr.Addr) units.Time {
 	r := m.l2[g].Access(uint64(a), true)
 	if r.HasWB {
 		m.postToMemory(t, g, addr.Addr(r.Writeback))
+	} else {
+		// Nothing downstream waits on a posted write, so keep the event
+		// loop alive until the L2 port drains; otherwise a replay ending
+		// in writebacks reports a SimTime inside the port's busy period.
+		m.sim.At(t, func() {})
 	}
 	return t
 }
 
 // postToMemory sends a dirty line toward its device without anything
-// waiting for it (posted write).
+// waiting for it (posted write). A no-op completion event marks the time
+// the write finishes draining: without it Run() can return while the NoC
+// and device buses are still busy, making SimTime undershoot the real end
+// of traffic and pushing Utilization past 1 on writeback-heavy replays.
 func (m *Machine) postToMemory(at units.Time, g int, a addr.Addr) {
 	m.sim.At(at, func() {
 		arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
-		m.deviceAccess(arr, a, true)
+		done := m.deviceAccess(arr, a, true)
+		m.sim.At(done, func() {})
 	})
 }
 

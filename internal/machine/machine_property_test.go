@@ -11,8 +11,11 @@ import (
 
 // randomTrace builds a structurally valid trace from fuzz input: every
 // thread performs the same number of barriers and the addresses stay
-// inside the memory windows.
-func randomTrace(ops []uint32, threads int) *trace.Trace {
+// inside the memory windows. withDMA mixes in background bulk copies;
+// the monotonicity property excludes them because a copy occupies every
+// channel of both devices, so its contention with demand fills is not
+// monotone in channel count.
+func randomTrace(ops []uint32, threads int, withDMA bool) *trace.Trace {
 	rec := trace.NewRecorder(threads, tinyL1(), trace.DefaultCosts())
 	barriers := 0
 	for i, o := range ops {
@@ -21,7 +24,7 @@ func randomTrace(ops []uint32, threads int) *trace.Trace {
 		if o%3 == 0 {
 			a = addr.NearBase + addr.Addr(o%(1<<20))*8
 		}
-		switch o % 5 {
+		switch o % 6 {
 		case 0, 1:
 			tp.Load(a, 8)
 		case 2:
@@ -30,6 +33,25 @@ func randomTrace(ops []uint32, threads int) *trace.Trace {
 			tp.Compute(int64(o % 4096))
 		case 4:
 			tp.Atomic(a)
+		case 5:
+			if !withDMA {
+				tp.Compute(int64(o % 512))
+				break
+			}
+			// Background bulk copies in both directions, sometimes waited
+			// on, sometimes left outstanding at stream end (the replay
+			// must drain them either way).
+			n := int(o%256+1) * 64
+			far := addr.FarBase + addr.Addr(o%4096)*64
+			near := addr.NearBase + addr.Addr(o%4096)*64
+			if o%2 == 0 {
+				tp.DMA(far, near, n)
+			} else {
+				tp.DMA(near, far, n)
+			}
+			if o%7 == 0 {
+				tp.DMAWait()
+			}
 		}
 		if o%97 == 0 {
 			// Global barrier: every thread must cross it.
@@ -48,8 +70,9 @@ func randomTrace(ops []uint32, threads int) *trace.Trace {
 func TestReplayPropertyInvariants(t *testing.T) {
 	f := func(ops []uint32, threadsRaw uint8) bool {
 		threads := int(threadsRaw%8) + 1
-		tr := randomTrace(ops, threads)
-		res, err := Run(TinyConfig(8, 64*units.MiB), tr)
+		tr := randomTrace(ops, threads, true)
+		m := New(TinyConfig(8, 64*units.MiB))
+		res, err := m.Replay(tr)
 		if err != nil {
 			t.Logf("replay error: %v", err)
 			return false
@@ -60,9 +83,19 @@ func TestReplayPropertyInvariants(t *testing.T) {
 			return false
 		}
 		// (2) Device accesses cannot exceed the trace's line ops plus L2
-		// writebacks (the L2 only filters, never amplifies reads).
+		// writebacks (the L2 only filters, never amplifies reads). Each
+		// DMA copy adds its line count on both the source (reads) and the
+		// destination (writes) device.
 		c := tr.Count()
-		maxDev := c.Far() + c.Near() + c.Atomics + res.L2.Writebacks
+		var dmaLines uint64
+		for _, s := range tr.Streams {
+			for _, op := range s {
+				if op.Kind == trace.OpDMA {
+					dmaLines += uint64(op.Size+63) / 64
+				}
+			}
+		}
+		maxDev := c.Far() + c.Near() + c.Atomics + res.L2.Writebacks + 2*dmaLines
 		if res.FarAccesses+res.NearAccesses > maxDev {
 			t.Logf("device accesses %d exceed trace lines %d",
 				res.FarAccesses+res.NearAccesses, maxDev)
@@ -75,7 +108,24 @@ func TestReplayPropertyInvariants(t *testing.T) {
 				res.FarStats.Writes+res.NearStats.Writes, c.Atomics)
 			return false
 		}
-		// (4) Every recorded barrier must have released.
+		// (4) Utilization is a fraction of elapsed time: 0 <= u <= 1 for
+		// every device. Values above 1 mean Run() returned before posted
+		// traffic drained.
+		for _, u := range []float64{res.FarUtilization, res.NearUtilization, res.NoCUtilization} {
+			if u < 0 || u > 1 {
+				t.Logf("utilization %v outside [0,1] (far=%v near=%v noc=%v)",
+					u, res.FarUtilization, res.NearUtilization, res.NoCUtilization)
+				return false
+			}
+		}
+		// (5) The replay drained: no resource is still busy past SimTime.
+		if res.SimTime < m.far.BusyUntil() || res.SimTime < m.near.BusyUntil() ||
+			res.SimTime < m.nw.BusyUntil() {
+			t.Logf("SimTime %v before busy end (far=%v near=%v noc=%v)",
+				res.SimTime, m.far.BusyUntil(), m.near.BusyUntil(), m.nw.BusyUntil())
+			return false
+		}
+		// (6) Every recorded barrier must have released.
 		wantBarriers := 0
 		for _, op := range tr.Streams[0] {
 			if op.Kind == trace.OpBarrier {
@@ -96,7 +146,7 @@ func TestReplayMonotoneInBandwidth(t *testing.T) {
 		if len(ops) == 0 {
 			return true
 		}
-		tr := randomTrace(ops, 4)
+		tr := randomTrace(ops, 4, false)
 		var prev units.Time
 		first := true
 		for _, ch := range []int{2, 8, 32} {

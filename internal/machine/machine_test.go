@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/addr"
@@ -357,6 +358,91 @@ func TestRowBufferLocalityVisible(t *testing.T) {
 		t.Errorf("sequential row-hit rate %v not above random %v",
 			rs.FarStats.RowHitRate(), rr.FarStats.RowHitRate())
 	}
+}
+
+func TestDMADirectionStats(t *testing.T) {
+	// A far->near copy streams out of the far device (reads) and into the
+	// near device (writes); the reverse copy mirrors it. Before the
+	// direction fix both devices counted their configured default
+	// regardless of which side of the copy they were on.
+	const n = 1 << 16
+	lines := uint64(n / 64)
+	run := func(src, dst addr.Addr) Result {
+		t.Helper()
+		tr := record(1, func(tid int, tp *trace.TP) {
+			tp.DMA(src, dst, n)
+			tp.DMAWait()
+		})
+		res, err := Run(TinyConfig(8, 16*units.MiB), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fwd := run(addr.FarBase, addr.NearBase)
+	if fwd.FarStats.Reads != lines || fwd.FarStats.Writes != 0 {
+		t.Errorf("far->near: far stats %+v, want %d reads / 0 writes", fwd.FarStats, lines)
+	}
+	if fwd.NearStats.Writes != lines || fwd.NearStats.Reads != 0 {
+		t.Errorf("far->near: near stats %+v, want %d writes / 0 reads", fwd.NearStats, lines)
+	}
+
+	rev := run(addr.NearBase, addr.FarBase)
+	if rev.NearStats.Reads != lines || rev.NearStats.Writes != 0 {
+		t.Errorf("near->far: near stats %+v, want %d reads / 0 writes", rev.NearStats, lines)
+	}
+	if rev.FarStats.Writes != lines || rev.FarStats.Reads != 0 {
+		t.Errorf("near->far: far stats %+v, want %d writes / 0 reads", rev.FarStats, lines)
+	}
+
+	// Round-trip symmetry: source reads equal destination writes.
+	if fwd.FarStats.Reads != fwd.NearStats.Writes || rev.NearStats.Reads != rev.FarStats.Writes {
+		t.Errorf("DMA read/write accounting asymmetric: %+v / %+v", fwd, rev)
+	}
+}
+
+func TestPostedWriteDrain(t *testing.T) {
+	// Stream dirty lines through the tiny L1 and L2 so the trace ends in a
+	// burst of posted writebacks, then check the replay ran until every
+	// resource drained. Before the drain fix Run() returned while device
+	// buses were still busy, so SimTime undershot and Utilization could
+	// exceed 1.
+	tr := record(1, func(tid int, tp *trace.TP) {
+		// 1024 distinct far lines (64KiB) overflow the 16KiB L2.
+		for i := 0; i < 1024; i++ {
+			tp.Store(addr.FarBase+addr.Addr(i*64), 8)
+		}
+	})
+	m := New(TinyConfig(8, units.MiB))
+	res, err := m.Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FarStats.Writes == 0 {
+		t.Fatal("workload produced no posted writes; test is vacuous")
+	}
+	drained := func(name string, b units.Time) {
+		t.Helper()
+		if res.SimTime < b {
+			t.Errorf("SimTime %v inside %s busy period ending %v", res.SimTime, name, b)
+		}
+	}
+	drained("far", m.far.BusyUntil())
+	drained("near", m.near.BusyUntil())
+	drained("noc", m.nw.BusyUntil())
+	for g := range m.l2bus {
+		drained(fmt.Sprintf("l2bus[%d]", g), m.l2bus[g].BusyUntil())
+	}
+	bounded := func(name string, u float64) {
+		t.Helper()
+		if u < 0 || u > 1 {
+			t.Errorf("%s utilization %v outside [0,1]", name, u)
+		}
+	}
+	bounded("far", res.FarUtilization)
+	bounded("near", res.NearUtilization)
+	bounded("noc", res.NoCUtilization)
 }
 
 func TestDMAStatsReported(t *testing.T) {

@@ -97,5 +97,20 @@ func (nw *Network) Utilization() float64 {
 	return u / float64(2*len(nw.tx))
 }
 
+// BusyUntil returns the latest time any link in either direction is
+// occupied. A drained replay must report SimTime at or after this point.
+func (nw *Network) BusyUntil() units.Time {
+	var t units.Time
+	for i := range nw.tx {
+		if b := nw.tx[i].BusyUntil(); b > t {
+			t = b
+		}
+		if b := nw.rx[i].BusyUntil(); b > t {
+			t = b
+		}
+	}
+	return t
+}
+
 // Config returns the network configuration.
 func (nw *Network) Config() Config { return nw.cfg }

@@ -84,8 +84,10 @@ func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 }
 
 // BulkAcquire reserves channel bandwidth for n bytes spread evenly across
-// all channels starting at time at (DMA streaming).
-func (d *Device) BulkAcquire(at units.Time, n units.Bytes) units.Time {
+// all channels starting at time at (DMA streaming). write selects the
+// accounting direction: the device a copy streams out of counts the
+// transfer as Reads, the device it lands in counts it as Writes.
+func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Time {
 	per := units.Bytes(units.CeilDiv(int64(n), int64(len(d.channels))))
 	var done units.Time
 	for _, bus := range d.channels {
@@ -93,7 +95,12 @@ func (d *Device) BulkAcquire(at units.Time, n units.Bytes) units.Time {
 			done = t
 		}
 	}
-	d.stats.Writes += uint64(units.CeilDiv(int64(n), int64(d.cfg.LineSize)))
+	lines := uint64(units.CeilDiv(int64(n), int64(d.cfg.LineSize)))
+	if write {
+		d.stats.Writes += lines
+	} else {
+		d.stats.Reads += lines
+	}
 	return done
 }
 
@@ -107,6 +114,18 @@ func (d *Device) Utilization() float64 {
 		u += bus.Utilization()
 	}
 	return u / float64(len(d.channels))
+}
+
+// BusyUntil returns the latest time any channel bus is occupied. A drained
+// replay must report SimTime at or after this point.
+func (d *Device) BusyUntil() units.Time {
+	var t units.Time
+	for _, bus := range d.channels {
+		if b := bus.BusyUntil(); b > t {
+			t = b
+		}
+	}
+	return t
 }
 
 // Config returns the device configuration.

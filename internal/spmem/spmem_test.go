@@ -72,11 +72,28 @@ func TestStatsAndUtilization(t *testing.T) {
 	}
 }
 
+func TestBulkAcquireDirectionStats(t *testing.T) {
+	s := engine.New()
+	d := New(s, Paper(8, units.MiB), addr.NearBase)
+	lines := uint64(units.MiB / 64)
+	d.BulkAcquire(0, units.MiB, true) // device is the copy's destination
+	if st := d.Stats(); st.Writes != lines || st.Reads != 0 {
+		t.Errorf("destination bulk transfer miscounted: %+v", st)
+	}
+	d.BulkAcquire(0, units.MiB, false) // device is the copy's source
+	if st := d.Stats(); st.Writes != lines || st.Reads != lines {
+		t.Errorf("source bulk transfer miscounted: %+v", st)
+	}
+	if d.BusyUntil() == 0 {
+		t.Error("BusyUntil should reflect the reserved bus time")
+	}
+}
+
 func TestBulkAcquireScalesWithChannels(t *testing.T) {
 	mk := func(ch int) units.Time {
 		s := engine.New()
 		d := New(s, Paper(ch, 64*units.MiB), addr.NearBase)
-		return d.BulkAcquire(0, 8*units.MiB)
+		return d.BulkAcquire(0, 8*units.MiB, true)
 	}
 	t8, t32 := mk(8), mk(32)
 	ratio := float64(t8) / float64(t32)

@@ -215,6 +215,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				if err != nil {
 					return nil, fmt.Errorf("trace: dma size: %w", err)
 				}
+				// Mirror the gap overflow check: silently truncating to
+				// uint32 would decode a corrupt stream into a different
+				// (smaller) workload instead of rejecting it.
+				if sz > uint64(^uint32(0)) {
+					return nil, fmt.Errorf("trace: dma size %d overflows", sz)
+				}
 				op.Size = uint32(sz)
 			case OpBarrier, OpDMAWait, OpGap, OpEnd:
 				// tag only

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -111,6 +114,52 @@ func TestSerializeTruncation(t *testing.T) {
 		if _, err := ReadTrace(bytes.NewReader(raw[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// dmaStream hand-assembles a checksummed single-thread stream holding one
+// OpDMA with the given size followed by OpEnd — the encoder can never emit
+// an out-of-range size, so the corrupt stream must be built byte by byte.
+func dmaStream(t *testing.T, size uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	hdr := []int64{traceVersion, 1, 3, 30, 20, 256, 64, 2, 1}
+	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	var v [binary.MaxVarintLen64]byte
+	buf.WriteByte(byte(OpDMA))
+	buf.Write(v[:binary.PutUvarint(v[:], 0)])    // src
+	buf.Write(v[:binary.PutUvarint(v[:], 4096)]) // dst
+	buf.Write(v[:binary.PutUvarint(v[:], size)])
+	buf.WriteByte(byte(OpEnd))
+	sum := crc64.Checksum(buf.Bytes(), crcTable)
+	if err := binary.Write(&buf, binary.LittleEndian, sum); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSerializeRejectsOversizedDMA(t *testing.T) {
+	// A valid checksum over a size that overflows uint32 must be rejected,
+	// not silently truncated into a different workload.
+	for _, size := range []uint64{1 << 32, 1<<32 + 4096, 1 << 63} {
+		_, err := ReadTrace(bytes.NewReader(dmaStream(t, size)))
+		if err == nil || !strings.Contains(err.Error(), "dma size") {
+			t.Errorf("size %d: want dma size overflow error, got %v", size, err)
+		}
+	}
+	// Boundary control: the largest encodable size still decodes.
+	got, err := ReadTrace(bytes.NewReader(dmaStream(t, uint64(^uint32(0)))))
+	if err != nil {
+		t.Fatalf("max uint32 size rejected: %v", err)
+	}
+	if op := got.Streams[0][0]; op.Kind != OpDMA || op.Size != ^uint32(0) {
+		t.Errorf("decoded op = %+v", op)
 	}
 }
 

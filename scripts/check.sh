@@ -4,6 +4,7 @@
 # Runs, in order:
 #   1. go build ./...                 compile everything
 #   2. go run ./cmd/nmlint ./...      determinism & concurrency lint suite
+#                                     (incl. simpure: event-callback purity)
 #   3. go vet ./...                   the stock vet checks
 #   4. go test ./...                  full test suite (includes the
 #                                     record→replay determinism regression)
