@@ -1,62 +1,132 @@
 // Command nmsim reproduces the paper's Table I: it records the GNU-sort
 // baseline and NMsort on a scaled workload, replays the traces through the
 // simulated two-level-memory node at 2X/4X/8X near-memory bandwidth, and
-// prints the sim time and per-level access counts.
+// prints the sim time and per-level access counts. With -fault-rate > 0
+// the replays run under the deterministic fault environment of
+// internal/fault (ECC corrections and retries in the far memory, degraded
+// near channels, NoC retransmissions); rows whose replay returned
+// uncorrected data are marked "!".
 //
 // Usage:
 //
-//	nmsim [-n keys] [-cores n] [-sp bytes] [-seed s] [-dma]
+//	nmsim [-n keys] [-cores n] [-sp MiB] [-seed s] [-dma]
+//	      [-fault-seed s] [-fault-rate r] [-max-events n]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-func main() {
-	log.SetFlags(0)
-	var (
-		n      = flag.Int("n", 1<<20, "keys to sort")
-		cores  = flag.Int("cores", 256, "simulated cores (multiple of 4)")
-		spMiB  = flag.Int("sp", 2, "scratchpad capacity in MiB")
-		seed   = flag.Uint64("seed", 2015, "input seed")
-		dma    = flag.Bool("dma", false, "use the §VII DMA engines in NMsort")
-		format = flag.String("format", "text", "output format: text, csv, markdown")
-		dist   = flag.String("dist", "uniform", "key distribution: uniform, zipf, sorted, reverse, fewkeys, gaussian, runblend")
-	)
-	flag.Parse()
-	f, ferr := report.ParseFormat(*format)
-	if ferr != nil {
-		log.Fatalf("nmsim: %v", ferr)
-	}
+// options holds every flag value; validation is separated from flag
+// parsing so bad combinations are rejected up front with a usage hint and
+// a non-zero exit, and so the rules are testable without a process.
+type options struct {
+	n         int
+	cores     int
+	spMiB     int
+	seed      uint64
+	dma       bool
+	format    string
+	dist      string
+	faultSeed uint64
+	faultRate float64
+	maxEvents uint64
+}
 
-	d, derr := workload.Parse(*dist)
-	if derr != nil {
-		log.Fatalf("nmsim: %v", derr)
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (options, *flag.FlagSet, error) {
+	var o options
+	fs := flag.NewFlagSet("nmsim", flag.ContinueOnError)
+	fs.IntVar(&o.n, "n", 1<<20, "keys to sort")
+	fs.IntVar(&o.cores, "cores", 256, "simulated cores (multiple of 4)")
+	fs.IntVar(&o.spMiB, "sp", 2, "scratchpad capacity in MiB")
+	fs.Uint64Var(&o.seed, "seed", 2015, "input seed")
+	fs.BoolVar(&o.dma, "dma", false, "use the §VII DMA engines in NMsort")
+	fs.StringVar(&o.format, "format", "text", "output format: text, csv, markdown")
+	fs.StringVar(&o.dist, "dist", "uniform", "key distribution: uniform, zipf, sorted, reverse, fewkeys, gaussian, runblend")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (0 disables injection)")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "far-memory bit error rate per read, in [0, 1] (0 disables injection)")
+	fs.Uint64Var(&o.maxEvents, "max-events", 0, "per-replay event budget (0 = generous default)")
+	err := fs.Parse(args)
+	return o, fs, err
+}
+
+// validate rejects inconsistent flag combinations before any work is done.
+func (o options) validate() error {
+	switch {
+	case o.n < 0:
+		return fmt.Errorf("-n %d is negative", o.n)
+	case o.cores <= 0 || o.cores%4 != 0:
+		return fmt.Errorf("-cores %d must be a positive multiple of 4", o.cores)
+	case o.spMiB <= 0:
+		return fmt.Errorf("-sp %d MiB must be positive", o.spMiB)
+	case o.faultRate < 0 || o.faultRate > 1:
+		return fmt.Errorf("-fault-rate %v must be in [0, 1]", o.faultRate)
 	}
-	w := harness.Workload{
-		N:       *n,
-		Seed:    *seed,
-		Threads: *cores,
-		SP:      units.Bytes(*spMiB) * units.MiB,
-		Dist:    d,
+	if _, err := report.ParseFormat(o.format); err != nil {
+		return err
 	}
-	t, err := harness.Table1(w, *dma)
+	if _, err := workload.Parse(o.dist); err != nil {
+		return err
+	}
+	if o.faultRate > 0 {
+		return o.faultConfig().Validate()
+	}
+	return nil
+}
+
+// faultConfig derives the injected fault environment from the flags.
+func (o options) faultConfig() fault.Config {
+	if o.faultRate == 0 {
+		return fault.Config{}
+	}
+	return fault.Profile(o.faultSeed, o.faultRate)
+}
+
+// run executes the experiment and writes the table to w.
+func run(o options, w io.Writer) error {
+	f, _ := report.ParseFormat(o.format)
+	d, _ := workload.Parse(o.dist)
+	wl := harness.Workload{
+		N:         o.n,
+		Seed:      o.seed,
+		Threads:   o.cores,
+		SP:        units.Bytes(o.spMiB) * units.MiB,
+		Dist:      d,
+		MaxEvents: o.maxEvents,
+	}
+	t, err := harness.Table1Faults(wl, o.dma, o.faultConfig())
 	if err != nil {
-		log.Fatalf("nmsim: %v", err)
+		return err
 	}
 	if f == report.Text {
-		fmt.Fprint(os.Stdout, t.String())
-		return
+		_, err := fmt.Fprint(w, t.String())
+		return err
 	}
-	if err := t.Report().Render(os.Stdout, f); err != nil {
-		log.Fatalf("nmsim: %v", err)
+	return t.Report().Render(w, f)
+}
+
+func main() {
+	o, fs, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the error and usage
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "nmsim: %v\n", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nmsim: %v\n", err)
+		os.Exit(1)
 	}
 }

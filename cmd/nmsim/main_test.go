@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidate exercises the up-front flag validation: every rejected
+// combination must carry a hint naming the offending flag.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // "" = valid
+	}{
+		{"defaults", nil, ""},
+		{"negative n", []string{"-n", "-1"}, "-n"},
+		{"zero cores", []string{"-cores", "0"}, "-cores"},
+		{"negative cores", []string{"-cores", "-8"}, "-cores"},
+		{"cores not multiple of 4", []string{"-cores", "6"}, "-cores"},
+		{"zero scratchpad", []string{"-sp", "0"}, "-sp"},
+		{"negative scratchpad", []string{"-sp", "-2"}, "-sp"},
+		{"negative fault rate", []string{"-fault-rate", "-0.5"}, "-fault-rate"},
+		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate"},
+		{"bad format", []string{"-format", "xml"}, "format"},
+		{"bad distribution", []string{"-dist", "bimodal"}, "bimodal"},
+		{"valid faults", []string{"-fault-rate", "1e-4", "-fault-seed", "9"}, ""},
+		{"valid zipf csv", []string{"-dist", "zipf", "-format", "csv"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, _, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatalf("parseFlags(%v): %v", tc.args, err)
+			}
+			err = o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%v) = nil, want error mentioning %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("validate(%v) = %q, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseFlagsUnknown confirms unknown flags fail at parse time.
+func TestParseFlagsUnknown(t *testing.T) {
+	fs := []string{"-frobnicate"}
+	if _, _, err := parseFlags(fs); err == nil {
+		t.Fatalf("parseFlags(%v) = nil, want error", fs)
+	}
+}
+
+// TestFaultConfigDisabled confirms -fault-rate 0 yields a disabled config
+// regardless of the seed, preserving the fault-free default path.
+func TestFaultConfigDisabled(t *testing.T) {
+	o, _, err := parseFlags([]string{"-fault-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc := o.faultConfig(); fc.Enabled() {
+		t.Fatalf("faultConfig() = %+v, want disabled at rate 0", fc)
+	}
+}
+
+// TestRunSmall runs a tiny workload end to end through run().
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	o, _, err := parseFlags([]string{"-n", "4096", "-cores", "8", "-sp", "1", "-fault-rate", "1e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "NMsort") {
+		t.Errorf("output missing NMsort rows:\n%s", b.String())
+	}
+}

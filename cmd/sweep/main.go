@@ -6,16 +6,22 @@
 //	-exp=cores      claim C2 — the scratchpad pays off in the memory-bound
 //	                regime (256 cores) and not below it (128 cores)
 //	-exp=dma        experiment A2 — the §VII DMA-engine extension
+//	-exp=appends    experiment A1 — bucket-metadata batching ablation
+//	-exp=kmeans     the §VII k-means extension
+//	-exp=faults     experiment F1 — slowdown, retry counts, and MemFault
+//	                outcomes vs. the far memory's uncorrectable-error rate,
+//	                NMsort vs. the merge baseline
 //
 // Usage:
 //
 //	sweep -exp=bandwidth [-n keys] [-cores n] [-sp MiB] [-seed s]
+//	sweep -exp=faults [-fault-seed s] [-fault-rates r1,r2,...]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,46 +31,136 @@ import (
 	"repro/internal/units"
 )
 
-func main() {
-	log.SetFlags(0)
-	var (
-		exp    = flag.String("exp", "bandwidth", "experiment: bandwidth, cores, dma, appends, kmeans")
-		n      = flag.Int("n", 1<<20, "keys to sort")
-		cores  = flag.Int("cores", 256, "simulated cores for the bandwidth/dma sweeps")
-		list   = flag.String("corelist", "64,128,192,256", "core counts for -exp=cores")
-		spMiB  = flag.Int("sp", 8, "scratchpad capacity in MiB")
-		seed   = flag.Uint64("seed", 2015, "input seed")
-		format = flag.String("format", "text", "output format: text, csv, markdown")
-	)
-	flag.Parse()
-	f, ferr := report.ParseFormat(*format)
-	if ferr != nil {
-		log.Fatalf("sweep: %v", ferr)
+// experiments names every valid -exp value.
+var experiments = map[string]bool{
+	"bandwidth": true, "cores": true, "dma": true,
+	"appends": true, "kmeans": true, "faults": true,
+}
+
+// options holds every flag value; validation is separated from parsing so
+// bad combinations fail fast with a usage hint and are testable.
+type options struct {
+	exp        string
+	n          int
+	cores      int
+	list       string
+	spMiB      int
+	seed       uint64
+	format     string
+	faultSeed  uint64
+	faultRates string
+}
+
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (options, *flag.FlagSet, error) {
+	var o options
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.StringVar(&o.exp, "exp", "bandwidth", "experiment: bandwidth, cores, dma, appends, kmeans, faults")
+	fs.IntVar(&o.n, "n", 1<<20, "keys to sort")
+	fs.IntVar(&o.cores, "cores", 256, "simulated cores for the bandwidth/dma/faults sweeps")
+	fs.StringVar(&o.list, "corelist", "64,128,192,256", "core counts for -exp=cores")
+	fs.IntVar(&o.spMiB, "sp", 8, "scratchpad capacity in MiB")
+	fs.Uint64Var(&o.seed, "seed", 2015, "input seed")
+	fs.StringVar(&o.format, "format", "text", "output format: text, csv, markdown")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed for -exp=faults (0 disables injection)")
+	fs.StringVar(&o.faultRates, "fault-rates", "", "comma-separated bit error rates for -exp=faults (empty = default axis)")
+	err := fs.Parse(args)
+	return o, fs, err
+}
+
+// validate rejects inconsistent flag combinations before any work is done.
+func (o options) validate() error {
+	if !experiments[o.exp] {
+		return fmt.Errorf("unknown experiment %q (want bandwidth, cores, dma, appends, kmeans, or faults)", o.exp)
+	}
+	switch {
+	case o.n < 0:
+		return fmt.Errorf("-n %d is negative", o.n)
+	case o.cores <= 0 || o.cores%4 != 0:
+		return fmt.Errorf("-cores %d must be a positive multiple of 4", o.cores)
+	case o.spMiB <= 0:
+		return fmt.Errorf("-sp %d MiB must be positive", o.spMiB)
+	}
+	if _, err := report.ParseFormat(o.format); err != nil {
+		return err
+	}
+	if o.exp == "cores" {
+		if _, err := parseCoreList(o.list); err != nil {
+			return err
+		}
+	}
+	if o.exp == "faults" {
+		if _, err := parseRates(o.faultRates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseCoreList parses the -corelist flag: positive multiples of 4.
+func parseCoreList(list string) ([]int, error) {
+	var cc []int
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 || v%4 != 0 {
+			return nil, fmt.Errorf("bad core count %q (must be a positive multiple of 4)", f)
+		}
+		cc = append(cc, v)
+	}
+	return cc, nil
+}
+
+// parseRates parses the -fault-rates flag: probabilities in [0, 1]. An
+// empty flag selects the default axis.
+func parseRates(list string) ([]float64, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 || v > 1 || v != v {
+			return nil, fmt.Errorf("bad fault rate %q (must be in [0, 1])", f)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+// run executes the selected experiment and writes the series to w.
+func run(o options, out io.Writer) error {
+	f, _ := report.ParseFormat(o.format)
+	w := harness.Workload{
+		N:       o.n,
+		Seed:    o.seed,
+		Threads: o.cores,
+		SP:      units.Bytes(o.spMiB) * units.MiB,
 	}
 
-	w := harness.Workload{
-		N:       *n,
-		Seed:    *seed,
-		Threads: *cores,
-		SP:      units.Bytes(*spMiB) * units.MiB,
+	// The faults experiment has its own table shape (per-rate fault
+	// counters), so it renders through its own type.
+	if o.exp == "faults" {
+		rates, _ := parseRates(o.faultRates)
+		s, err := harness.RunFaultSweep(w, 16, o.faultSeed, rates)
+		if err != nil {
+			return err
+		}
+		if f == report.Text {
+			_, err := fmt.Fprint(out, s.String())
+			return err
+		}
+		return s.Report().Render(out, f)
 	}
 
 	var (
 		s   harness.Sweep
 		err error
 	)
-	switch *exp {
+	switch o.exp {
 	case "bandwidth":
 		s, err = harness.BandwidthSweep(w)
 	case "cores":
-		var cc []int
-		for _, f := range strings.Split(*list, ",") {
-			v, perr := strconv.Atoi(strings.TrimSpace(f))
-			if perr != nil || v <= 0 || v%4 != 0 {
-				log.Fatalf("sweep: bad core count %q (must be a positive multiple of 4)", f)
-			}
-			cc = append(cc, v)
-		}
+		cc, _ := parseCoreList(o.list)
 		s, err = harness.CoreSweep(w, cc)
 	case "dma":
 		s, err = harness.AblationDMA(w, 16)
@@ -72,19 +168,31 @@ func main() {
 		s, err = harness.AblationSmallAppends(w, 16)
 	case "kmeans":
 		kw := harness.DefaultKMeans()
-		kw.Th = *cores
+		kw.Th = o.cores
 		s, err = harness.KMeansSweep(kw)
-	default:
-		log.Fatalf("sweep: unknown experiment %q", *exp)
 	}
 	if err != nil {
-		log.Fatalf("sweep: %v", err)
+		return err
 	}
 	if f == report.Text {
-		fmt.Fprint(os.Stdout, s.String())
-		return
+		_, err := fmt.Fprint(out, s.String())
+		return err
 	}
-	if err := s.Report().Render(os.Stdout, f); err != nil {
-		log.Fatalf("sweep: %v", err)
+	return s.Report().Render(out, f)
+}
+
+func main() {
+	o, fs, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the error and usage
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidate exercises the up-front flag validation, including the
+// experiment-specific list flags.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // "" = valid
+	}{
+		{"defaults", nil, ""},
+		{"unknown experiment", []string{"-exp", "latency"}, "unknown experiment"},
+		{"negative n", []string{"-n", "-5"}, "-n"},
+		{"bad cores", []string{"-cores", "10"}, "-cores"},
+		{"zero scratchpad", []string{"-sp", "0"}, "-sp"},
+		{"bad format", []string{"-format", "yaml"}, "format"},
+		{"bad corelist entry", []string{"-exp", "cores", "-corelist", "64,91"}, "core count"},
+		{"empty corelist entry", []string{"-exp", "cores", "-corelist", "64,,128"}, "core count"},
+		{"corelist ignored elsewhere", []string{"-exp", "dma", "-corelist", "64,91"}, ""},
+		{"bad fault rate", []string{"-exp", "faults", "-fault-rates", "0.1,2"}, "fault rate"},
+		{"negative fault rate", []string{"-exp", "faults", "-fault-rates", "-1e-3"}, "fault rate"},
+		{"garbage fault rate", []string{"-exp", "faults", "-fault-rates", "lots"}, "fault rate"},
+		{"fault rates ignored elsewhere", []string{"-exp", "cores", "-fault-rates", "9"}, ""},
+		{"valid faults", []string{"-exp", "faults", "-fault-rates", "1e-4,1e-3", "-fault-seed", "3"}, ""},
+		{"valid kmeans", []string{"-exp", "kmeans"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, _, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatalf("parseFlags(%v): %v", tc.args, err)
+			}
+			err = o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%v) = nil, want error mentioning %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("validate(%v) = %q, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseCoreList checks round-tripping of the happy path.
+func TestParseCoreList(t *testing.T) {
+	cc, err := parseCoreList(" 64, 128 ,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{64, 128, 256}
+	if len(cc) != len(want) {
+		t.Fatalf("parseCoreList = %v, want %v", cc, want)
+	}
+	for i := range want {
+		if cc[i] != want[i] {
+			t.Fatalf("parseCoreList = %v, want %v", cc, want)
+		}
+	}
+}
+
+// TestParseRatesEmpty confirms the empty flag selects the default axis.
+func TestParseRatesEmpty(t *testing.T) {
+	rates, err := parseRates("  ")
+	if err != nil || rates != nil {
+		t.Fatalf("parseRates(blank) = %v, %v; want nil, nil", rates, err)
+	}
+}
+
+// TestRunFaultsSmall runs a tiny fault sweep end to end through run().
+func TestRunFaultsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	o, _, err := parseFlags([]string{"-exp", "faults", "-n", "4096", "-cores", "8",
+		"-sp", "1", "-fault-rates", "1e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "nmsort") || !strings.Contains(out, "gnusort") {
+		t.Errorf("fault sweep output missing algorithm rows:\n%s", out)
+	}
+}

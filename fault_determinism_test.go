@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/units"
+)
+
+// goldenWorkload is the fixed anchor workload shared by the golden and
+// fault-determinism tests below.
+func goldenWorkload() harness.Workload {
+	return harness.Workload{N: 1 << 13, Seed: 7, Threads: 8, SP: 64 * units.KiB}
+}
+
+// goldenTable1 is the SHA-256 of Table1(goldenWorkload, dma=false).String()
+// captured on the commit immediately before the fault layer landed. The
+// fault-injection code is threaded through every device's timing path, so
+// this digest moving means the disabled fault layer (seed 0) perturbed a
+// fault-free simulation — the one thing it must never do.
+const goldenTable1 = "ad1a9cdeb60699fe31b478ccb4df8f3e250b5c4dbdffd0da445e0135d28c872b"
+
+func table1Digest(t *testing.T, fc fault.Config) string {
+	t.Helper()
+	tb, err := harness.Table1Faults(goldenWorkload(), false, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(tb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestFaultSeedZeroGolden pins the regression anchor: with no fault config,
+// and with a disabled (Seed == 0) fault config at maximal rates, Table I is
+// byte-identical to its pre-fault-layer output.
+func TestFaultSeedZeroGolden(t *testing.T) {
+	if got := table1Digest(t, fault.Config{}); got != goldenTable1 {
+		t.Errorf("Table1 with zero fault config = %s, want golden %s", got, goldenTable1)
+	}
+	// Seed 0 disables injection no matter how hostile the rates are.
+	if got := table1Digest(t, fault.Profile(0, 1)); got != goldenTable1 {
+		t.Errorf("Table1 with seed-0 fault config = %s, want golden %s", got, goldenTable1)
+	}
+}
+
+// faultSweepDigest renders a full fault sweep (both algorithms, several
+// rates, every fault counter) and hashes it.
+func faultSweepDigest(t *testing.T) string {
+	t.Helper()
+	s, err := harness.RunFaultSweep(goldenWorkload(), 16, 99, []float64{1e-3, 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestFaultSweepDeterminism extends the determinism guarantee to the fault
+// layer: the same (trace, config, fault seed) yields a bit-identical fault
+// sweep across repeated runs and across GOMAXPROCS settings, and a
+// different fault seed yields a different schedule.
+func TestFaultSweepDeterminism(t *testing.T) {
+	d1 := faultSweepDigest(t)
+	d2 := faultSweepDigest(t)
+	if d1 != d2 {
+		t.Errorf("fault sweep differs between identical runs: %s vs %s", d1, d2)
+	}
+
+	old := runtime.GOMAXPROCS(0)
+	alt := 1
+	if old == 1 {
+		alt = 2
+	}
+	runtime.GOMAXPROCS(alt)
+	defer runtime.GOMAXPROCS(old)
+	d3 := faultSweepDigest(t)
+	if d1 != d3 {
+		t.Errorf("fault sweep depends on GOMAXPROCS (%d vs %d): %s vs %s", old, alt, d1, d3)
+	}
+
+	// A different fault seed must actually change the injected schedule.
+	s, err := harness.RunFaultSweep(goldenWorkload(), 16, 100, []float64{1e-3, 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(s.String()))
+	if hex.EncodeToString(sum[:]) == d1 {
+		t.Error("fault seeds 99 and 100 produced identical sweeps")
+	}
+}
+
+// TestFaultSweepInjects sanity-checks that the sweep's fault rates actually
+// inject: the highest-rate points must report fault activity and slow down
+// relative to their fault-free anchors.
+func TestFaultSweepInjects(t *testing.T) {
+	s, err := harness.RunFaultSweep(goldenWorkload(), 16, 99, []float64{1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 { // (gnusort, nmsort) x (0, 1e-2)
+		t.Fatalf("sweep has %d points, want 4", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i += 2 {
+		p := s.Points[i]
+		f := p.Result.Faults
+		if f.FarBitErrors == 0 {
+			t.Errorf("%s at rate %v injected nothing", p.Label, p.Rate)
+		}
+		if p.Slowdown <= 1 {
+			t.Errorf("%s at rate %v slowdown %v, want > 1", p.Label, p.Rate, p.Slowdown)
+		}
+	}
+}

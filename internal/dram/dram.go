@@ -13,6 +13,7 @@ package dram
 import (
 	"repro/internal/addr"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/units"
 )
 
@@ -86,6 +87,7 @@ type Device struct {
 	base     addr.Addr
 	channels []channel
 	stats    Stats
+	inj      *fault.Injector // nil or disabled: perfect memory
 }
 
 // New builds a device servicing the window starting at base.
@@ -142,11 +144,34 @@ func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 
 	if write {
 		d.stats.Writes++
-	} else {
-		d.stats.Reads++
+		return ch.bus.AcquireAt(at+lat, d.cfg.LineSize)
 	}
-	return ch.bus.AcquireAt(at+lat, d.cfg.LineSize)
+	d.stats.Reads++
+	done := ch.bus.AcquireAt(at+lat, d.cfg.LineSize)
+
+	// ECC SECDED on the read path: a corrected single-bit error costs fixed
+	// controller latency; an uncorrectable error triggers re-reads with
+	// bounded exponential backoff, each re-occupying the channel bus (the
+	// row stays open, so only the column access repeats). A read that
+	// exhausts its retry budget returns poisoned data — recorded here and
+	// surfaced by the machine as a MemFault outcome. The decision is keyed
+	// by the read index, so the fault schedule is fixed up front.
+	plan := d.inj.FarRead(d.stats.Reads - 1)
+	if plan.Corrected {
+		done += d.inj.CorrectLatency()
+	}
+	for k := 0; k < plan.Retries; k++ {
+		done = ch.bus.AcquireAt(done+d.inj.Backoff(k)+d.cfg.TCas, d.cfg.LineSize)
+	}
+	if plan.Fatal {
+		d.inj.NoteMemFault(uint64(a), done, plan.Retries)
+	}
+	return done
 }
+
+// SetFaults attaches a fault injector; nil (the default) models perfect
+// memory. Call before the first access.
+func (d *Device) SetFaults(in *fault.Injector) { d.inj = in }
 
 // BulkAcquire reserves channel bandwidth for n bytes spread evenly across
 // all channels starting at time at, returning when the slowest channel
@@ -154,6 +179,9 @@ func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 // per-line commands. write selects the accounting direction: the device a
 // copy streams out of counts the transfer as Reads, the device it lands in
 // counts it as Writes, so Table I access counts stay direction-faithful.
+// DMA streams bypass the per-read ECC retry model: the engines are assumed
+// to carry transfer-level CRC with end-to-end recovery (see DESIGN.md's
+// fault-model section).
 func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Time {
 	per := units.Bytes(units.CeilDiv(int64(n), int64(len(d.channels))))
 	var done units.Time

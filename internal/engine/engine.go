@@ -42,10 +42,12 @@ func (h eventHeap) Peek() (item, bool) { // valid only when non-empty
 
 // Sim is a discrete-event simulator. The zero value is not usable; use New.
 type Sim struct {
-	now    units.Time
-	seq    uint64
-	events eventHeap
-	nRun   uint64
+	now      units.Time
+	seq      uint64
+	events   eventHeap
+	nRun     uint64
+	lastAt   units.Time // timestamp of the most recently executed event
+	watchers []watcher  // components registered with the stall detector
 }
 
 // New returns an empty simulator at time zero.
@@ -74,19 +76,29 @@ func (s *Sim) After(d units.Time, fn Event) {
 	s.At(s.now+d, fn)
 }
 
+// step pops and executes the next event unconditionally; callers check the
+// queue first.
+func (s *Sim) step() {
+	it := heap.Pop(&s.events).(item)
+	s.now = it.at
+	s.lastAt = it.at
+	s.nRun++
+	it.fn()
+}
+
 // Run executes events until the queue drains, returning the final time.
+// RunBudget adds a runaway guard and the watchdog cross-check.
 func (s *Sim) Run() units.Time {
 	for len(s.events) > 0 {
-		it := heap.Pop(&s.events).(item)
-		s.now = it.at
-		s.nRun++
-		it.fn()
+		s.step()
 	}
 	return s.now
 }
 
 // RunUntil executes events with timestamps <= deadline. It returns true if
-// the queue drained, false if events at later times remain.
+// the queue drained, false if events at later times remain. Callers that
+// stop at the deadline can consult Stalled() for components caught mid-
+// request.
 func (s *Sim) RunUntil(deadline units.Time) bool {
 	for {
 		head, ok := s.events.Peek()
@@ -96,10 +108,7 @@ func (s *Sim) RunUntil(deadline units.Time) bool {
 		if head.at > deadline {
 			return false
 		}
-		it := heap.Pop(&s.events).(item)
-		s.now = it.at
-		s.nRun++
-		it.fn()
+		s.step()
 	}
 }
 
@@ -108,10 +117,7 @@ func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	it := heap.Pop(&s.events).(item)
-	s.now = it.at
-	s.nRun++
-	it.fn()
+	s.step()
 	return true
 }
 

@@ -46,6 +46,17 @@ func (r *Resource) Acquire(n units.Bytes) units.Time {
 // AcquireAt is Acquire but with an explicit earliest-start time (used when
 // a request reaches this resource only after an upstream latency).
 func (r *Resource) AcquireAt(earliest units.Time, n units.Bytes) units.Time {
+	return r.AcquireAtFactor(earliest, n, 1)
+}
+
+// AcquireAtFactor is AcquireAt with the service time stretched by factor
+// (>= 1): the request occupies the resource as if it ran at bandwidth/factor.
+// The fault layer uses it to model a degraded channel; bytes and request
+// counts are unaffected, only occupancy grows.
+func (r *Resource) AcquireAtFactor(earliest units.Time, n units.Bytes, factor int64) units.Time {
+	if factor < 1 {
+		panic("engine: resource slowdown factor must be >= 1")
+	}
 	start := earliest
 	if start < r.sim.Now() {
 		start = r.sim.Now()
@@ -54,7 +65,7 @@ func (r *Resource) AcquireAt(earliest units.Time, n units.Bytes) units.Time {
 		r.waited += r.busyUntil - start
 		start = r.busyUntil
 	}
-	svc := r.bw.TransferTime(n)
+	svc := r.bw.TransferTime(n) * units.Time(factor)
 	r.busyUntil = start + svc
 	r.busyTime += svc
 	r.served++

@@ -1,0 +1,273 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestProfileValid(t *testing.T) {
+	for _, rate := range []float64{0, 1e-6, 1e-3, 0.5, 1} {
+		cfg := Profile(7, rate)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Profile(7, %v) invalid: %v", rate, err)
+		}
+	}
+	if !Profile(7, 1e-4).Enabled() {
+		t.Error("Profile with a positive rate must be enabled")
+	}
+	if Profile(0, 1e-4).Enabled() {
+		t.Error("seed 0 must disable injection")
+	}
+	if Profile(7, 0).Enabled() {
+		t.Error("rate 0 must disable injection")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"rate above one", func(c *Config) { c.BitErrorRate = 1.5 }},
+		{"negative rate", func(c *Config) { c.BitErrorRate = -0.1 }},
+		{"NaN rate", func(c *Config) { c.BitErrorRate = nan() }},
+		{"bad uncorrectable frac", func(c *Config) { c.UncorrectableFrac = 2 }},
+		{"bad stuck frac", func(c *Config) { c.StuckFrac = -1 }},
+		{"bad degrade prob", func(c *Config) { c.DegradeProb = 7 }},
+		{"bad corrupt rate", func(c *Config) { c.CorruptRate = -2 }},
+		{"negative correct latency", func(c *Config) { c.CorrectLatency = -1 }},
+		{"negative backoff", func(c *Config) { c.RetryBackoff = -1 }},
+		{"negative retries", func(c *Config) { c.MaxRetries = -1 }},
+		{"negative resends", func(c *Config) { c.MaxResends = -1 }},
+		{"degrade without epoch", func(c *Config) { c.DegradeProb = 0.5; c.DegradeEpoch = 0 }},
+		{"degrade factor zero", func(c *Config) { c.DegradeProb = 0.5; c.DegradeFactor = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Profile(3, 1e-3)
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestNilInjectorClean pins the nil-safety contract: every method on a nil
+// injector returns the clean outcome with zero latency.
+func TestNilInjectorClean(t *testing.T) {
+	var in *Injector
+	if p := in.FarRead(0); p != (FarPlan{}) {
+		t.Errorf("nil FarRead = %+v", p)
+	}
+	if in.CorrectLatency() != 0 || in.Backoff(3) != 0 {
+		t.Error("nil injector must add zero latency")
+	}
+	if in.NearFactor(0, 0) != 1 {
+		t.Error("nil NearFactor must be 1")
+	}
+	if in.NoCResends(0) != 0 {
+		t.Error("nil NoCResends must be 0")
+	}
+	in.NoteMemFault(0, 0, 0) // must not panic
+	if s := in.Stats(); s.FarBitErrors != 0 || s.MemFaults != 0 {
+		t.Errorf("nil Stats = %+v", s)
+	}
+}
+
+// TestSeedZeroNoOp pins the regression anchor: Seed == 0 yields the clean
+// outcome for every query even with every rate maxed.
+func TestSeedZeroNoOp(t *testing.T) {
+	cfg := Profile(0, 1)
+	in := New(cfg)
+	for i := uint64(0); i < 1000; i++ {
+		if p := in.FarRead(i); p != (FarPlan{}) {
+			t.Fatalf("seed 0 FarRead(%d) = %+v", i, p)
+		}
+		if f := in.NearFactor(int(i%16), units.Time(i)*units.Microsecond); f != 1 {
+			t.Fatalf("seed 0 NearFactor = %d", f)
+		}
+		if n := in.NoCResends(i); n != 0 {
+			t.Fatalf("seed 0 NoCResends = %d", n)
+		}
+	}
+	if s := in.Stats(); s.FarBitErrors != 0 || s.NearDegraded != 0 ||
+		s.NoCRetransmits != 0 || s.MemFaults != 0 || len(s.Faults) != 0 {
+		t.Fatalf("seed 0 accumulated stats: %+v", s)
+	}
+}
+
+// TestFarReadDeterministic pins the counter-keyed draw: the same (seed,
+// index) always yields the same plan, regardless of query order or
+// repetition, and different seeds decorrelate.
+func TestFarReadDeterministic(t *testing.T) {
+	const n = 4096
+	a := New(Profile(42, 0.05))
+	b := New(Profile(42, 0.05))
+	var plansFwd [n]FarPlan
+	for i := uint64(0); i < n; i++ {
+		plansFwd[i] = a.FarRead(i)
+	}
+	// Reverse order, interleaved with repeats, on a fresh injector.
+	for i := int64(n - 1); i >= 0; i-- {
+		p := b.FarRead(uint64(i))
+		if p != plansFwd[i] {
+			t.Fatalf("FarRead(%d) order-dependent: %+v vs %+v", i, p, plansFwd[i])
+		}
+	}
+	diff := 0
+	c := New(Profile(43, 0.05))
+	for i := uint64(0); i < n; i++ {
+		if c.FarRead(i) != plansFwd[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+// TestFarReadRateAndBounds checks the empirical error rate tracks the
+// configured rate and every plan respects the retry bound.
+func TestFarReadRateAndBounds(t *testing.T) {
+	const n = 200000
+	rate := 0.01
+	in := New(Profile(9, rate))
+	errors := 0
+	for i := uint64(0); i < n; i++ {
+		p := in.FarRead(i)
+		if p.Corrected || p.Retries > 0 {
+			errors++
+		}
+		if p.Retries < 0 || p.Retries > in.cfg.MaxRetries {
+			t.Fatalf("FarRead(%d) retries %d outside [0, %d]", i, p.Retries, in.cfg.MaxRetries)
+		}
+		if p.Fatal && p.Retries != in.cfg.MaxRetries {
+			t.Fatalf("FarRead(%d) fatal with %d retries, want the full budget", i, p.Retries)
+		}
+	}
+	got := float64(errors) / n
+	if got < rate/2 || got > rate*2 {
+		t.Fatalf("empirical error rate %v, configured %v", got, rate)
+	}
+	s := in.Stats()
+	if s.FarBitErrors != uint64(errors) {
+		t.Fatalf("stats count %d errors, observed %d", s.FarBitErrors, errors)
+	}
+	if s.FarCorrected+s.FarUncorrectable != s.FarBitErrors {
+		t.Fatalf("corrected %d + uncorrectable %d != errors %d",
+			s.FarCorrected, s.FarUncorrectable, s.FarBitErrors)
+	}
+}
+
+// TestBackoffExponentialCapped pins the backoff schedule.
+func TestBackoffExponentialCapped(t *testing.T) {
+	in := New(Config{Seed: 1, BitErrorRate: 0.1, RetryBackoff: 100 * units.Nanosecond, MaxRetries: 1})
+	for k := 0; k < 5; k++ {
+		want := (100 * units.Nanosecond) << uint(k)
+		if got := in.Backoff(k); got != want {
+			t.Fatalf("Backoff(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if in.Backoff(50) != in.Backoff(16) {
+		t.Fatal("backoff must cap at 16 doublings")
+	}
+	if in.Backoff(50) <= 0 {
+		t.Fatal("capped backoff overflowed")
+	}
+}
+
+// TestNearFactorEpochWindows pins degradation to (channel, epoch) windows:
+// constant within a window, independent across channels and epochs.
+func TestNearFactorEpochWindows(t *testing.T) {
+	cfg := Profile(5, 1e-3)
+	cfg.DegradeProb = 0.5
+	in := New(cfg)
+	ep := cfg.DegradeEpoch
+	for ch := 0; ch < 4; ch++ {
+		for e := units.Time(0); e < 32; e++ {
+			at := e * ep
+			f := in.NearFactor(ch, at)
+			if f != 1 && f != cfg.DegradeFactor {
+				t.Fatalf("NearFactor = %d, want 1 or %d", f, cfg.DegradeFactor)
+			}
+			// Same window, different offsets: identical factor.
+			for _, off := range []units.Time{1, ep / 2, ep - 1} {
+				if g := in.NearFactor(ch, at+off); g != f {
+					t.Fatalf("NearFactor(ch=%d) varies within epoch %d: %d vs %d", ch, e, g, f)
+				}
+			}
+		}
+	}
+	// With probability 0.5 over 4x32 windows, both outcomes must occur.
+	s := in.Stats()
+	if s.NearDegraded == 0 {
+		t.Fatal("no window degraded at probability 0.5")
+	}
+}
+
+// TestNoCResendsBounded pins the retransmission bound.
+func TestNoCResendsBounded(t *testing.T) {
+	cfg := Profile(11, 1e-3)
+	cfg.CorruptRate = 0.9 // nearly every attempt corrupts
+	in := New(cfg)
+	saw := 0
+	for i := uint64(0); i < 1000; i++ {
+		n := in.NoCResends(i)
+		if n < 0 || n > cfg.MaxResends {
+			t.Fatalf("NoCResends(%d) = %d outside [0, %d]", i, n, cfg.MaxResends)
+		}
+		if n > 0 {
+			saw++
+		}
+	}
+	if saw == 0 {
+		t.Fatal("no retransmissions at corrupt rate 0.9")
+	}
+}
+
+// TestNewPanicsOnInvalid pins the last line of defense.
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on an invalid config")
+		}
+	}()
+	New(Config{Seed: 1, BitErrorRate: 2})
+}
+
+// TestStatsCopy confirms Stats() snapshots: mutating the returned fault
+// sample must not alias the injector's.
+func TestStatsCopy(t *testing.T) {
+	in := New(Profile(1, 1e-3))
+	in.NoteMemFault(0xabc, 5, 3)
+	s := in.Stats()
+	if len(s.Faults) != 1 || s.Faults[0].Addr != 0xabc {
+		t.Fatalf("stats = %+v", s)
+	}
+	s.Faults[0].Addr = 0
+	if in.Stats().Faults[0].Addr != 0xabc {
+		t.Fatal("Stats returned an aliased fault sample")
+	}
+}
+
+// TestMemFaultRecordingCapped confirms the diagnostic sample stays small.
+func TestMemFaultRecordingCapped(t *testing.T) {
+	in := New(Profile(1, 1e-3))
+	for i := 0; i < 100; i++ {
+		in.NoteMemFault(uint64(i), units.Time(i), 4)
+	}
+	s := in.Stats()
+	if s.MemFaults != 100 {
+		t.Fatalf("MemFaults = %d, want 100", s.MemFaults)
+	}
+	if len(s.Faults) != maxRecordedFaults {
+		t.Fatalf("recorded %d faults, want cap %d", len(s.Faults), maxRecordedFaults)
+	}
+}

@@ -6,10 +6,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/noc"
@@ -54,6 +56,10 @@ type Workload struct {
 	SP      units.Bytes   // scratchpad capacity M
 	Buckets int           // NMsort bucket count override (0 = automatic)
 	Dist    workload.Dist // key distribution ("" = uniform, the paper's)
+
+	// MaxEvents bounds each replay's event count (the engine's
+	// runaway-schedule guard); 0 means machine.DefaultEventBudget.
+	MaxEvents uint64
 }
 
 // DefaultWorkload returns the scaled Table I workload: the paper sorts 10M
@@ -151,6 +157,16 @@ type Table struct {
 // replayed per configuration, exactly as the paper replays one binary
 // against varying memory systems.
 func Table1(w Workload, dma bool) (Table, error) {
+	return Table1Faults(w, dma, fault.Config{})
+}
+
+// Table1Faults is Table1 under an injected fault environment: every node
+// carries fc, so the table shows how the co-design comparison shifts when
+// the memory system is imperfect. A zero (or Seed == 0) config is
+// bit-identical to Table1. Replays ending in a MemFault outcome keep their
+// row — the timing is valid, the simulated program's output is not — and
+// are marked with a trailing "!".
+func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 	t := Table{Title: fmt.Sprintf("SST-style simulation, N=%d keys, %d cores", w.N, w.Threads)}
 
 	gnu, err := Record(AlgGNUSort, w)
@@ -159,11 +175,14 @@ func Table1(w Workload, dma bool) (Table, error) {
 	}
 	// The baseline never touches near memory; replay it on the 2X node
 	// (its result is identical on any near configuration).
-	base, err := machine.Run(NodeFor(w.Threads, 8, w.SP), gnu.Trace)
+	baseCfg := NodeFor(w.Threads, 8, w.SP)
+	baseCfg.Fault = fc
+	baseCfg.MaxEvents = w.MaxEvents
+	base, baseFaulted, err := runTolerant(baseCfg, gnu.Trace)
 	if err != nil {
 		return t, err
 	}
-	t.Rows = append(t.Rows, Row{Name: "GNU Sort", Result: base, RelTime: 1})
+	t.Rows = append(t.Rows, Row{Name: mark("GNU Sort", baseFaulted), Result: base, RelTime: 1})
 
 	alg := AlgNMSort
 	if dma {
@@ -175,18 +194,40 @@ func Table1(w Workload, dma bool) (Table, error) {
 	}
 	for _, ch := range []int{8, 16, 32} {
 		cfg := NodeFor(w.Threads, ch, w.SP)
-		res, err := machine.Run(cfg, nm.Trace)
+		cfg.Fault = fc
+		cfg.MaxEvents = w.MaxEvents
+		res, faulted, err := runTolerant(cfg, nm.Trace)
 		if err != nil {
 			return t, err
 		}
 		t.Rows = append(t.Rows, Row{
-			Name:    fmt.Sprintf("NMsort (%dX)", ch/4),
+			Name:    mark(fmt.Sprintf("NMsort (%dX)", ch/4), faulted),
 			Rho:     cfg.BandwidthExpansion(),
 			Result:  res,
 			RelTime: res.SimTime.Seconds() / base.SimTime.Seconds(),
 		})
 	}
 	return t, nil
+}
+
+// runTolerant replays tr on cfg, treating a MemFault outcome as data (the
+// result is complete and correctly timed; the simulated output is
+// poisoned) and every other error — stalls, budget exhaustion — as fatal.
+func runTolerant(cfg machine.Config, tr *trace.Trace) (machine.Result, bool, error) {
+	res, err := machine.Run(cfg, tr)
+	var mf *fault.MemFaultError
+	if errors.As(err, &mf) {
+		return res, true, nil
+	}
+	return res, false, err
+}
+
+// mark appends the MemFault marker to a row name.
+func mark(name string, faulted bool) string {
+	if faulted {
+		return name + " !"
+	}
+	return name
 }
 
 // Report converts the table into a renderable grid (text/CSV/markdown):

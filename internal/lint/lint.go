@@ -85,6 +85,7 @@ var simulatorPackages = map[string]bool{
 	"internal/trace":    true,
 	"internal/cachesim": true,
 	"internal/spmem":    true,
+	"internal/fault":    true,
 }
 
 // IsSimulatorPackage reports whether the import path (relative to the

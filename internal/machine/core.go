@@ -111,6 +111,18 @@ func (c *core) run() {
 	}
 }
 
+// outstanding counts the work this core has issued or still owes: line
+// fills in flight, unfinished DMA copies, and the op stream itself until
+// OpEnd retires. The engine's watchdog flags any nonzero count once the
+// event queue drains.
+func (c *core) outstanding() int {
+	n := c.inflight + c.dmaOut
+	if !c.done {
+		n++
+	}
+	return n
+}
+
 // drained reports whether all outstanding fills have landed, arranging to
 // resume at the drain point if not. Ordering points (atomics, barriers,
 // stream end) call this before proceeding.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/spmem"
 	"repro/internal/trace"
@@ -45,7 +46,22 @@ type Config struct {
 	NoC  noc.Config   // Groups is filled in from Cores/CoresPerGroup
 	Far  dram.Config  // far (capacity) memory
 	Near spmem.Config // near (scratchpad) memory
+
+	// Fault describes the injected fault environment. The zero value (or
+	// any config with Seed == 0) models perfect memory and a lossless NoC,
+	// bit-identical to a machine without a fault layer.
+	Fault fault.Config
+
+	// MaxEvents bounds the events one replay may execute — the
+	// runaway-schedule guard. Zero means DefaultEventBudget.
+	MaxEvents uint64
 }
+
+// DefaultEventBudget is the generous per-replay event bound used when
+// Config.MaxEvents is zero: far beyond any legitimate replay (the Table I
+// runs execute tens of millions of events), close enough to abort a
+// runaway schedule in reasonable wall time.
+const DefaultEventBudget uint64 = 1 << 36
 
 // PaperConfig returns the Figure 4 node: 256 cores at 1.7GHz in quad-core
 // groups, 512KB 16-way shared L2 per group, 72GB/s group links with 20ns
@@ -106,7 +122,7 @@ func (c Config) Validate() error {
 	case c.MaxOutstanding <= 0:
 		return fmt.Errorf("machine: MaxOutstanding must be positive")
 	}
-	return nil
+	return c.Fault.Validate()
 }
 
 // BandwidthExpansion returns ρ: near aggregate bandwidth over far aggregate
@@ -135,6 +151,11 @@ type Result struct {
 
 	Events uint64 // discrete events executed (simulation effort)
 
+	// Faults summarizes injected-fault activity (zero without a fault
+	// layer): ECC corrections, controller retries, uncorrectable faults,
+	// degraded near accesses, and NoC retransmissions.
+	Faults fault.Stats
+
 	// BarrierTimes records the simulated time of every global barrier
 	// release, in order — the phase boundaries of the replayed algorithm.
 	// Inter-barrier deltas attribute sim time to algorithm phases.
@@ -155,6 +176,7 @@ type Machine struct {
 	dma     *dmaEngine
 	barrier *barrierCtl
 	cores   []*core
+	inj     *fault.Injector
 }
 
 // New builds a machine from cfg.
@@ -178,6 +200,10 @@ func New(cfg Config) *Machine {
 		m.l2bus[g] = engine.NewResource(sim, cfg.L2BW)
 	}
 	m.dma = &dmaEngine{m: m}
+	m.inj = fault.New(cfg.Fault)
+	m.far.SetFaults(m.inj)
+	m.near.SetFaults(m.inj)
+	m.nw.SetFaults(m.inj)
 	return m
 }
 
@@ -202,7 +228,12 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 		m.cores[i] = c
 		m.sim.At(0, c.run)
 	}
-	end := m.sim.Run()
+	m.watch()
+	budget := m.cfg.MaxEvents
+	if budget == 0 {
+		budget = DefaultEventBudget
+	}
+	end, runErr := m.sim.RunBudget(budget)
 
 	var res Result
 	res.SimTime = end
@@ -223,7 +254,38 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 	res.DMABytes = m.dma.bytes
 	res.Events = m.sim.Executed()
 	res.BarrierTimes = m.barrier.releases
+	res.Faults = m.inj.Stats()
+	if runErr != nil {
+		// A stalled or runaway replay: the result is returned for diagnosis
+		// but its SimTime is not a completion time.
+		return res, runErr
+	}
+	if res.Faults.MemFaults > 0 {
+		// The replay ran to completion, but some reads returned uncorrected
+		// data: surface the machine-level fault outcome while keeping the
+		// full result (fault sweeps treat this as data, not failure).
+		return res, &fault.MemFaultError{Count: res.Faults.MemFaults, First: res.Faults.Faults[0]}
+	}
 	return res, nil
+}
+
+// watch registers every component whose pending work the engine's
+// watchdog must cross-check when the event queue drains: the memory
+// devices and buses (busy horizons) and the cores and barrier (outstanding
+// requests). A dropped completion event then yields a StallError naming
+// the stuck component instead of a silently short SimTime.
+func (m *Machine) watch() {
+	m.sim.Watch("far", m.far.BusyUntil, nil)
+	m.sim.Watch("near", m.near.BusyUntil, nil)
+	m.sim.Watch("noc", m.nw.BusyUntil, nil)
+	for g := range m.l2bus {
+		m.sim.Watch(fmt.Sprintf("l2bus[%d]", g), m.l2bus[g].BusyUntil, nil)
+	}
+	for _, c := range m.cores {
+		c := c
+		m.sim.Watch(fmt.Sprintf("core[%d]", c.id), nil, c.outstanding)
+	}
+	m.sim.Watch("barrier", nil, func() int { return len(m.barrier.waiting) })
 }
 
 // Run is a convenience wrapper: build a machine from cfg and replay tr.

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestWatchdogCatchesDroppedCompletion is the acceptance test for the
+// stall detector: a core with a fill in flight whose completion event was
+// never scheduled (the bug class the watchdog exists for) must surface as
+// a StallError naming that core, not as a silently short SimTime.
+func TestWatchdogCatchesDroppedCompletion(t *testing.T) {
+	m := New(TinyConfig(8, units.MiB))
+	tr := record(1, func(tid int, tp *trace.TP) {
+		tp.Load(addr.FarBase, 8)
+	})
+	m.barrier = &barrierCtl{need: 1}
+	c := &core{m: m, id: 5, group: 1, stream: tr.Streams[0], period: m.cfg.CoreHz.Period()}
+	m.cores = []*core{c}
+	m.watch()
+
+	// Issue the fill by hand exactly as core.run does — except the
+	// completion event (fillDone) is deliberately dropped.
+	m.sim.At(0, func() {
+		m.fill(c.group, addr.FarBase)
+		c.inflight++
+		// Bug under test: no m.sim.At(done, c.fillDone) here.
+	})
+	_, err := m.sim.RunBudget(DefaultEventBudget)
+	var st *engine.StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("RunBudget = %v, want StallError", err)
+	}
+	var hit bool
+	for _, s := range st.Stalls {
+		if s.Component == "core[5]" {
+			hit = true
+			if s.Outstanding < 1 {
+				t.Errorf("core[5] stall reports %d outstanding, want >= 1", s.Outstanding)
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("StallError does not name the stalled core: %v", st)
+	}
+	if !strings.Contains(st.Error(), "core[5]") {
+		t.Fatalf("Error() = %q, want core[5] named", st.Error())
+	}
+}
+
+// TestWatchdogQuietOnCleanReplay confirms a complete replay reports no
+// stalls: every watcher drains below its horizon.
+func TestWatchdogQuietOnCleanReplay(t *testing.T) {
+	tr := record(2, func(tid int, tp *trace.TP) {
+		for i := 0; i < 64; i++ {
+			if i%3 == 0 {
+				tp.Store(addr.FarBase+addr.Addr(4096*i+64*tid), 8)
+			} else {
+				tp.Load(addr.FarBase+addr.Addr(4096*i+64*tid), 8)
+			}
+		}
+		tp.Barrier()
+	})
+	if _, err := Run(TinyConfig(8, units.MiB), tr); err != nil {
+		t.Fatalf("clean replay: %v", err)
+	}
+}
+
+// TestReplayBudgetError confirms Config.MaxEvents aborts a replay with a
+// BudgetError carrying the budget, and that the default budget passes.
+func TestReplayBudgetError(t *testing.T) {
+	tr := record(2, func(tid int, tp *trace.TP) {
+		for i := 0; i < 256; i++ {
+			tp.Load(addr.FarBase+addr.Addr(4096*i+64*tid), 8)
+		}
+	})
+	cfg := TinyConfig(8, units.MiB)
+	cfg.MaxEvents = 10
+	_, err := Run(cfg, tr)
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("Run with MaxEvents=10 = %v, want BudgetError", err)
+	}
+	if be.MaxEvents != 10 {
+		t.Fatalf("budget error carries %d, want 10", be.MaxEvents)
+	}
+
+	cfg.MaxEvents = 0 // DefaultEventBudget
+	if _, err := Run(cfg, tr); err != nil {
+		t.Fatalf("Run with default budget: %v", err)
+	}
+}
+
+// TestReplayMemFaultOutcome drives the far memory at a brutal error rate
+// with a stuck-fault fraction of one, so uncorrectable errors exhaust
+// their retries: Replay must complete, return the full result, and surface
+// the machine-level fault as a MemFaultError.
+func TestReplayMemFaultOutcome(t *testing.T) {
+	tr := record(2, func(tid int, tp *trace.TP) {
+		for i := 0; i < 512; i++ {
+			tp.Load(addr.FarBase+addr.Addr(4096*i+64*tid), 8)
+		}
+	})
+	cfg := TinyConfig(8, units.MiB)
+	cfg.Fault = fault.Config{
+		Seed:              12345,
+		BitErrorRate:      0.5,
+		UncorrectableFrac: 1,
+		StuckFrac:         1, // every uncorrectable error defeats its retries
+		CorrectLatency:    20 * units.Nanosecond,
+		RetryBackoff:      100 * units.Nanosecond,
+		MaxRetries:        2,
+	}
+	res, err := Run(cfg, tr)
+	var mf *fault.MemFaultError
+	if !errors.As(err, &mf) {
+		t.Fatalf("Run = %v, want MemFaultError", err)
+	}
+	if mf.Count == 0 || res.Faults.MemFaults != mf.Count {
+		t.Fatalf("MemFaultError count %d vs result %d", mf.Count, res.Faults.MemFaults)
+	}
+	if res.SimTime == 0 || res.FarAccesses == 0 {
+		t.Fatalf("result alongside MemFaultError is empty: %+v", res)
+	}
+	if mf.First.At == 0 {
+		t.Fatalf("first fault has no timestamp: %+v", mf.First)
+	}
+
+	// The same replay with the fault layer disabled must be strictly
+	// faster: retries and backoff only ever add occupancy.
+	cfg.Fault = fault.Config{}
+	clean, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("clean replay: %v", err)
+	}
+	if clean.SimTime >= res.SimTime {
+		t.Fatalf("faulted replay (%v) not slower than clean (%v)", res.SimTime, clean.SimTime)
+	}
+}

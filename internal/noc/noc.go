@@ -9,6 +9,7 @@ package noc
 
 import (
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,7 @@ type Network struct {
 	rx    []*engine.Resource // memory -> group direction
 	msgs  uint64
 	bytes uint64
+	inj   *fault.Injector // nil or disabled: lossless network
 }
 
 // New builds the network on sim.
@@ -59,28 +61,45 @@ func New(sim *engine.Sim, cfg Config) *Network {
 
 // Send delivers a request of n payload bytes from group g toward the
 // memory side, arriving at the returned time. Requests without payload
-// (read commands) pass n = 0 and pay only latency.
+// (read commands) pass n = 0 and pay only latency. A message the fault
+// layer marks corrupted is retransmitted: each retransmission re-occupies
+// the link and pays the hop latency again (corruption is detected at the
+// receiver), keyed by the global message index so the schedule is fixed up
+// front.
 func (nw *Network) Send(at units.Time, g int, n units.Bytes) units.Time {
-	nw.msgs++
-	nw.bytes += uint64(n)
-	if n == 0 {
-		return at + nw.cfg.HopLat + nw.cfg.HeaderLat
-	}
-	done := nw.tx[g].AcquireAt(at, n)
-	return done + nw.cfg.HopLat + nw.cfg.HeaderLat
+	return nw.transfer(nw.tx[g], at, n)
 }
 
 // Deliver returns a response of n payload bytes from the memory side to
-// group g, arriving at the returned time.
+// group g, arriving at the returned time; it retransmits corrupted
+// messages like Send.
 func (nw *Network) Deliver(at units.Time, g int, n units.Bytes) units.Time {
+	return nw.transfer(nw.rx[g], at, n)
+}
+
+// transfer moves one message over link, including any fault-injected
+// retransmissions.
+func (nw *Network) transfer(link *engine.Resource, at units.Time, n units.Bytes) units.Time {
 	nw.msgs++
 	nw.bytes += uint64(n)
-	if n == 0 {
-		return at + nw.cfg.HopLat + nw.cfg.HeaderLat
+	resends := nw.inj.NoCResends(nw.msgs - 1)
+	arr := at + nw.cfg.HopLat + nw.cfg.HeaderLat
+	if n > 0 {
+		arr = link.AcquireAt(at, n) + nw.cfg.HopLat + nw.cfg.HeaderLat
 	}
-	done := nw.rx[g].AcquireAt(at, n)
-	return done + nw.cfg.HopLat + nw.cfg.HeaderLat
+	for k := 0; k < resends; k++ {
+		if n > 0 {
+			arr = link.AcquireAt(arr, n) + nw.cfg.HopLat + nw.cfg.HeaderLat
+		} else {
+			arr += nw.cfg.HopLat + nw.cfg.HeaderLat
+		}
+	}
+	return arr
 }
+
+// SetFaults attaches a fault injector; nil (the default) models a lossless
+// network. Call before the first message.
+func (nw *Network) SetFaults(in *fault.Injector) { nw.inj = in }
 
 // Messages returns the total messages routed.
 func (nw *Network) Messages() uint64 { return nw.msgs }

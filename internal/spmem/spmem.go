@@ -9,6 +9,7 @@ package spmem
 import (
 	"repro/internal/addr"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/units"
 )
 
@@ -55,6 +56,7 @@ type Device struct {
 	base     addr.Addr
 	channels []*engine.Resource
 	stats    Stats
+	inj      *fault.Injector // nil or disabled: perfect memory
 }
 
 // New builds a device servicing the window starting at base.
@@ -71,22 +73,33 @@ func New(sim *engine.Sim, cfg Config, base addr.Addr) *Device {
 
 // Access services one line transfer arriving at time at and returns its
 // completion time: the constant device latency followed by channel bus
-// occupancy.
+// occupancy. With a fault layer attached, an access that lands in a
+// degraded (channel, epoch) window is served at a fraction of the channel
+// bandwidth — the fault model of thermal throttling or refresh storms in a
+// stacked part; the degradation schedule is a pure function of
+// (seed, channel, epoch), fixed up front for all simulated time.
 func (d *Device) Access(at units.Time, a addr.Addr, write bool) units.Time {
 	line := uint64(a-d.base) / uint64(d.cfg.LineSize)
-	bus := d.channels[line%uint64(len(d.channels))]
+	ch := int(line % uint64(len(d.channels)))
+	bus := d.channels[ch]
 	if write {
 		d.stats.Writes++
 	} else {
 		d.stats.Reads++
 	}
-	return bus.AcquireAt(at+d.cfg.Latency, d.cfg.LineSize)
+	return bus.AcquireAtFactor(at+d.cfg.Latency, d.cfg.LineSize, d.inj.NearFactor(ch, at))
 }
+
+// SetFaults attaches a fault injector; nil (the default) models perfect
+// memory. Call before the first access.
+func (d *Device) SetFaults(in *fault.Injector) { d.inj = in }
 
 // BulkAcquire reserves channel bandwidth for n bytes spread evenly across
 // all channels starting at time at (DMA streaming). write selects the
 // accounting direction: the device a copy streams out of counts the
-// transfer as Reads, the device it lands in counts it as Writes.
+// transfer as Reads, the device it lands in counts it as Writes. DMA
+// streams bypass the channel-degradation fault model (see DESIGN.md's
+// fault-model section).
 func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Time {
 	per := units.Bytes(units.CeilDiv(int64(n), int64(len(d.channels))))
 	var done units.Time

@@ -153,8 +153,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if hdr[0] != traceVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", hdr[0])
 	}
+	// Every stream costs at least its 8-byte length field, so a thread
+	// count beyond the remaining payload can only come from corruption;
+	// checking before allocating keeps a hostile header from forcing a
+	// huge allocation.
 	threads := hdr[8]
-	if threads <= 0 || threads > 1<<20 {
+	if threads <= 0 || threads > 1<<20 || threads > int64(br.Len())/8 {
 		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
 	}
 	tr := &Trace{
@@ -175,7 +179,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if err := binary.Read(br, binary.LittleEndian, &nOps); err != nil {
 			return nil, fmt.Errorf("trace: thread %d length: %w", t, err)
 		}
-		if nOps < 0 || nOps > 1<<34 {
+		// Each op occupies at least its tag byte, so the remaining
+		// payload bounds the count; this rejects corrupt lengths before
+		// the allocation they would inflate.
+		if nOps < 0 || nOps > int64(br.Len()) {
 			return nil, fmt.Errorf("trace: implausible op count %d", nOps)
 		}
 		ops := make([]Op, nOps)

@@ -1,0 +1,61 @@
+package xrand
+
+import "testing"
+
+// TestMixDeterministic pins Mix as a pure function of its arguments.
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Fatal("Mix ignores key order")
+	}
+	if Mix(1, 2, 3) == Mix(2, 2, 3) {
+		t.Fatal("Mix ignores the seed")
+	}
+}
+
+// TestMixSpread checks a crude avalanche property: flipping one key bit
+// flips roughly half the output bits on average.
+func TestMixSpread(t *testing.T) {
+	totalBits := 0
+	const trials = 1000
+	for i := uint64(0); i < trials; i++ {
+		a := Mix(7, i)
+		b := Mix(7, i^1)
+		totalBits += popcount(a ^ b)
+	}
+	avg := float64(totalBits) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("average flipped bits %v, want near 32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// TestMixFloat64Range confirms the unit-interval projection.
+func TestMixFloat64Range(t *testing.T) {
+	var lo, hi float64 = 1, 0
+	for i := uint64(0); i < 100000; i++ {
+		f := MixFloat64(99, i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("MixFloat64 = %v outside [0, 1)", f)
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > 0.01 || hi < 0.99 {
+		t.Fatalf("MixFloat64 range [%v, %v] suspiciously narrow", lo, hi)
+	}
+}

@@ -80,6 +80,32 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Mix returns a statistically independent 64-bit value for the given key
+// tuple under seed — a stateless, counter-based draw (SplitMix64 finalizer
+// folded over the keys). Components that must make randomized decisions
+// without sharing a sequential stream (e.g. fault injection keyed by
+// (seed, device, access index)) use Mix so the outcome is a pure function
+// of the tuple, independent of the order in which decisions are consumed.
+func Mix(seed uint64, keys ...uint64) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, k := range keys {
+		h += 0x9e3779b97f4a7c15 + k
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	// Final scramble so a zero-key tuple still diverges across seeds.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// MixFloat64 maps Mix's draw for the tuple to a uniform value in [0, 1),
+// with the same bit discipline as Float64.
+func MixFloat64(seed uint64, keys ...uint64) float64 {
+	return float64(Mix(seed, keys...)>>11) / (1 << 53)
+}
+
 // Keys fills dst with uniform 64-bit keys — the paper's workload of random
 // 64-bit integers.
 func (r *RNG) Keys(dst []uint64) {

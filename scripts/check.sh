@@ -9,6 +9,8 @@
 #   4. go test ./...                  full test suite (includes the
 #                                     record→replay determinism regression)
 #   5. go test -race -short ./...     race detector over the short suite
+#   6. fuzz smoke                     10s of FuzzReadTrace on the trace
+#                                     decoder (no panics on hostile bytes)
 #
 # Any stage failing fails the whole script. Run from anywhere inside the
 # repository.
@@ -26,5 +28,6 @@ step go run ./cmd/nmlint ./...
 step go vet ./...
 step go test ./...
 step go test -race -short ./...
+step go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/trace
 
 echo "== all checks passed =="
