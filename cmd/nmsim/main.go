@@ -7,10 +7,18 @@
 // near channels, NoC retransmissions); rows whose replay returned
 // uncorrected data are marked "!".
 //
+// With -telemetry-out (Chrome trace-event JSON, loadable in Perfetto)
+// and/or -telemetry-csv (time-series dump), nmsim additionally replays the
+// NMsort trace on the 4X node with a telemetry recorder sampling every
+// -telemetry-epoch of simulated time, writes the export files, and appends
+// the per-phase bandwidth breakdown. Telemetry output is bit-identical
+// across runs: same flags, same bytes.
+//
 // Usage:
 //
 //	nmsim [-n keys] [-cores n] [-sp MiB] [-seed s] [-dma]
 //	      [-fault-seed s] [-fault-rate r] [-max-events n]
+//	      [-telemetry-out f.trace.json] [-telemetry-csv f.csv] [-telemetry-epoch dur]
 package main
 
 import (
@@ -40,6 +48,10 @@ type options struct {
 	faultSeed uint64
 	faultRate float64
 	maxEvents uint64
+
+	telemetryOut   string
+	telemetryCSV   string
+	telemetryEpoch string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -56,9 +68,15 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (0 disables injection)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "far-memory bit error rate per read, in [0, 1] (0 disables injection)")
 	fs.Uint64Var(&o.maxEvents, "max-events", 0, "per-replay event budget (0 = generous default)")
+	fs.StringVar(&o.telemetryOut, "telemetry-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the NMsort replay to this file")
+	fs.StringVar(&o.telemetryCSV, "telemetry-csv", "", "write the sampled time series of the NMsort replay to this CSV file")
+	fs.StringVar(&o.telemetryEpoch, "telemetry-epoch", "10us", "telemetry sampling resolution in simulated time (e.g. 500ns, 10us)")
 	err := fs.Parse(args)
 	return o, fs, err
 }
+
+// telemetry reports whether any telemetry export was requested.
+func (o options) telemetry() bool { return o.telemetryOut != "" || o.telemetryCSV != "" }
 
 // validate rejects inconsistent flag combinations before any work is done.
 func (o options) validate() error {
@@ -77,6 +95,15 @@ func (o options) validate() error {
 	}
 	if _, err := workload.Parse(o.dist); err != nil {
 		return err
+	}
+	if o.telemetry() {
+		epoch, err := units.ParseTime(o.telemetryEpoch)
+		if err != nil {
+			return fmt.Errorf("-telemetry-epoch: %v", err)
+		}
+		if epoch <= 0 {
+			return fmt.Errorf("-telemetry-epoch %s must be positive", o.telemetryEpoch)
+		}
 	}
 	if o.faultRate > 0 {
 		return o.faultConfig().Validate()
@@ -109,10 +136,63 @@ func run(o options, w io.Writer) error {
 		return err
 	}
 	if f == report.Text {
-		_, err := fmt.Fprint(w, t.String())
+		if _, err := fmt.Fprint(w, t.String()); err != nil {
+			return err
+		}
+	} else if err := t.Report().Render(w, f); err != nil {
 		return err
 	}
-	return t.Report().Render(w, f)
+	if o.telemetry() {
+		return runTelemetry(o, wl, w, f)
+	}
+	return nil
+}
+
+// runTelemetry replays the NMsort trace on the 4X node with a telemetry
+// recorder, writes the requested export files, and appends the per-phase
+// breakdown to the report.
+func runTelemetry(o options, wl harness.Workload, w io.Writer, f report.Format) error {
+	epoch, _ := units.ParseTime(o.telemetryEpoch)
+	alg := harness.AlgNMSort
+	if o.dma {
+		alg = harness.AlgNMSortDM
+	}
+	res, tel, err := harness.RunTimeline(alg, wl, 16, epoch, o.faultConfig())
+	if err != nil {
+		return err
+	}
+	if o.telemetryOut != "" {
+		if err := writeFile(o.telemetryOut, tel.ExportChrome); err != nil {
+			return err
+		}
+	}
+	if o.telemetryCSV != "" {
+		if err := writeFile(o.telemetryCSV, tel.WriteCSV); err != nil {
+			return err
+		}
+	}
+	pt := harness.PhaseTable(
+		fmt.Sprintf("%s timeline, 4X near bandwidth, epoch %s", alg, epoch),
+		res.SimTime, res.Phases)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return pt.Render(w, f)
+}
+
+// writeFile writes one telemetry export, surfacing both write and close
+// errors (a full disk shows up at close).
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
 }
 
 func main() {

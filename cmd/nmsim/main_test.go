@@ -1,6 +1,10 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/telemetry"
 	"strings"
 	"testing"
 )
@@ -88,5 +92,89 @@ func TestRunSmall(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "NMsort") {
 		t.Errorf("output missing NMsort rows:\n%s", b.String())
+	}
+}
+
+// TestValidateTelemetry covers the telemetry flag family: the epoch must be
+// a positive unit-suffixed duration, and either output flag switches the
+// telemetry replay on.
+func TestValidateTelemetry(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad epoch", []string{"-telemetry-out", "x.json", "-telemetry-epoch", "10"}, "-telemetry-epoch"},
+		{"zero epoch", []string{"-telemetry-out", "x.json", "-telemetry-epoch", "0ns"}, "-telemetry-epoch"},
+		{"negative epoch", []string{"-telemetry-csv", "x.csv", "-telemetry-epoch", "-5us"}, "-telemetry-epoch"},
+		{"valid chrome", []string{"-telemetry-out", "x.json", "-telemetry-epoch", "50us"}, ""},
+		{"valid csv only", []string{"-telemetry-csv", "x.csv"}, ""},
+		{"epoch ignored when off", []string{"-telemetry-epoch", "10"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, _, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatalf("parseFlags(%v): %v", tc.args, err)
+			}
+			err = o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%v) = %v, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+
+	o, _, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.telemetry() {
+		t.Error("telemetry() = true with no output flags")
+	}
+}
+
+// TestRunTelemetrySmall runs a tiny workload with both exporters on and
+// checks the files land and the trace validates.
+func TestRunTelemetrySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.trace.json")
+	csvPath := filepath.Join(dir, "out.csv")
+	o, _, err := parseFlags([]string{"-n", "4096", "-cores", "8", "-sp", "1",
+		"-telemetry-out", tracePath, "-telemetry-csv", csvPath, "-telemetry-epoch", "5us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "timeline") {
+		t.Errorf("output missing phase table:\n%s", b.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeJSON(raw); err != nil {
+		t.Errorf("exported trace does not validate: %v", err)
+	}
+	csvRaw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvRaw), "t_ps,") {
+		t.Errorf("csv export lacks header: %q", string(csvRaw[:40]))
 	}
 }

@@ -1,21 +1,13 @@
 // Command sweep regenerates the series behind the paper's Section V
-// claims:
-//
-//	-exp=bandwidth  claim C1 — NMsort's runtime falls as near bandwidth
-//	                rises 2X→8X while the baseline is insensitive to it
-//	-exp=cores      claim C2 — the scratchpad pays off in the memory-bound
-//	                regime (256 cores) and not below it (128 cores)
-//	-exp=dma        experiment A2 — the §VII DMA-engine extension
-//	-exp=appends    experiment A1 — bucket-metadata batching ablation
-//	-exp=kmeans     the §VII k-means extension
-//	-exp=faults     experiment F1 — slowdown, retry counts, and MemFault
-//	                outcomes vs. the far memory's uncorrectable-error rate,
-//	                NMsort vs. the merge baseline
+// claims. Run "sweep -help" for the experiment list; every experiment is a
+// row of the registry below, which is also the single source of the usage
+// text.
 //
 // Usage:
 //
 //	sweep -exp=bandwidth [-n keys] [-cores n] [-sp MiB] [-seed s]
 //	sweep -exp=faults [-fault-seed s] [-fault-rates r1,r2,...]
+//	sweep -exp=timeline [-epoch dur]
 package main
 
 import (
@@ -31,10 +23,88 @@ import (
 	"repro/internal/units"
 )
 
-// experiments names every valid -exp value.
-var experiments = map[string]bool{
-	"bandwidth": true, "cores": true, "dma": true,
-	"appends": true, "kmeans": true, "faults": true,
+// experiment is one registered -exp value: its one-line description (the
+// usage text is generated from these) and its runner.
+type experiment struct {
+	name string
+	desc string
+	run  func(o options, w harness.Workload) (harness.Sweep, error)
+}
+
+// experiments is the registry, in display order. Adding an experiment here
+// is the whole job: -exp validation and the usage text follow.
+var experiments = []experiment{
+	{"bandwidth", "claim C1 — NMsort's runtime falls as near bandwidth rises 2X→8X; the baseline is insensitive",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			return harness.BandwidthSweep(w)
+		}},
+	{"cores", "claim C2 — the scratchpad pays off in the memory-bound regime (256 cores) and not below it",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			cc, err := parseCoreList(o.list)
+			if err != nil {
+				return harness.Sweep{}, err
+			}
+			return harness.CoreSweep(w, cc)
+		}},
+	{"dma", "experiment A2 — the §VII DMA-engine extension",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			return harness.AblationDMA(w, 16)
+		}},
+	{"appends", "experiment A1 — bucket-metadata batching ablation",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			return harness.AblationSmallAppends(w, 16)
+		}},
+	{"kmeans", "the §VII k-means extension",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			kw := harness.DefaultKMeans()
+			kw.Th = o.cores
+			return harness.KMeansSweep(kw)
+		}},
+	{"faults", "experiment F1 — slowdown, retry counts, and MemFault outcomes vs. the far memory's error rate",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			rates, err := parseRates(o.faultRates)
+			if err != nil {
+				return harness.Sweep{}, err
+			}
+			return harness.RunFaultSweep(w, 16, o.faultSeed, rates)
+		}},
+	{"timeline", "telemetry-instrumented replay at 4X — per-phase bandwidth and utilization, NMsort vs. the baseline",
+		func(o options, w harness.Workload) (harness.Sweep, error) {
+			epoch, err := units.ParseTime(o.epoch)
+			if err != nil {
+				return harness.Sweep{}, err
+			}
+			return harness.TimelineSweep(w, 16, epoch)
+		}},
+}
+
+// findExperiment looks a name up in the registry.
+func findExperiment(name string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+// experimentNames returns the registered names in display order.
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+// usageTable renders the registry as the experiment section of the usage
+// text: one aligned row per experiment.
+func usageTable() string {
+	var b strings.Builder
+	for _, e := range experiments {
+		fmt.Fprintf(&b, "  %-10s %s\n", e.name, e.desc)
+	}
+	return b.String()
 }
 
 // options holds every flag value; validation is separated from parsing so
@@ -49,29 +119,36 @@ type options struct {
 	format     string
 	faultSeed  uint64
 	faultRates string
+	epoch      string
 }
 
 // parseFlags parses args (without the program name) into options.
 func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	var o options
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	fs.StringVar(&o.exp, "exp", "bandwidth", "experiment: bandwidth, cores, dma, appends, kmeans, faults")
+	fs.StringVar(&o.exp, "exp", "bandwidth", "experiment: "+strings.Join(experimentNames(), ", "))
 	fs.IntVar(&o.n, "n", 1<<20, "keys to sort")
-	fs.IntVar(&o.cores, "cores", 256, "simulated cores for the bandwidth/dma/faults sweeps")
+	fs.IntVar(&o.cores, "cores", 256, "simulated cores for the bandwidth/dma/faults/timeline sweeps")
 	fs.StringVar(&o.list, "corelist", "64,128,192,256", "core counts for -exp=cores")
 	fs.IntVar(&o.spMiB, "sp", 8, "scratchpad capacity in MiB")
 	fs.Uint64Var(&o.seed, "seed", 2015, "input seed")
 	fs.StringVar(&o.format, "format", "text", "output format: text, csv, markdown")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed for -exp=faults (0 disables injection)")
 	fs.StringVar(&o.faultRates, "fault-rates", "", "comma-separated bit error rates for -exp=faults (empty = default axis)")
+	fs.StringVar(&o.epoch, "epoch", "10us", "telemetry sampling epoch for -exp=timeline (e.g. 500ns, 10us)")
+	def := fs.Usage
+	fs.Usage = func() {
+		def()
+		fmt.Fprintf(fs.Output(), "\nexperiments:\n%s", usageTable())
+	}
 	err := fs.Parse(args)
 	return o, fs, err
 }
 
 // validate rejects inconsistent flag combinations before any work is done.
 func (o options) validate() error {
-	if !experiments[o.exp] {
-		return fmt.Errorf("unknown experiment %q (want bandwidth, cores, dma, appends, kmeans, or faults)", o.exp)
+	if _, ok := findExperiment(o.exp); !ok {
+		return fmt.Errorf("unknown experiment %q (want one of: %s)", o.exp, strings.Join(experimentNames(), ", "))
 	}
 	switch {
 	case o.n < 0:
@@ -92,6 +169,15 @@ func (o options) validate() error {
 	if o.exp == "faults" {
 		if _, err := parseRates(o.faultRates); err != nil {
 			return err
+		}
+	}
+	if o.exp == "timeline" {
+		epoch, err := units.ParseTime(o.epoch)
+		if err != nil {
+			return fmt.Errorf("-epoch: %v", err)
+		}
+		if epoch <= 0 {
+			return fmt.Errorf("-epoch %s must be positive", o.epoch)
 		}
 	}
 	return nil
@@ -127,7 +213,9 @@ func parseRates(list string) ([]float64, error) {
 	return rates, nil
 }
 
-// run executes the selected experiment and writes the series to w.
+// run executes the selected experiment and writes the series to out. Every
+// experiment yields a harness.Sweep, so fault, timeline, and plain sweeps
+// all render through the same table path.
 func run(o options, out io.Writer) error {
 	f, _ := report.ParseFormat(o.format)
 	w := harness.Workload{
@@ -136,41 +224,8 @@ func run(o options, out io.Writer) error {
 		Threads: o.cores,
 		SP:      units.Bytes(o.spMiB) * units.MiB,
 	}
-
-	// The faults experiment has its own table shape (per-rate fault
-	// counters), so it renders through its own type.
-	if o.exp == "faults" {
-		rates, _ := parseRates(o.faultRates)
-		s, err := harness.RunFaultSweep(w, 16, o.faultSeed, rates)
-		if err != nil {
-			return err
-		}
-		if f == report.Text {
-			_, err := fmt.Fprint(out, s.String())
-			return err
-		}
-		return s.Report().Render(out, f)
-	}
-
-	var (
-		s   harness.Sweep
-		err error
-	)
-	switch o.exp {
-	case "bandwidth":
-		s, err = harness.BandwidthSweep(w)
-	case "cores":
-		cc, _ := parseCoreList(o.list)
-		s, err = harness.CoreSweep(w, cc)
-	case "dma":
-		s, err = harness.AblationDMA(w, 16)
-	case "appends":
-		s, err = harness.AblationSmallAppends(w, 16)
-	case "kmeans":
-		kw := harness.DefaultKMeans()
-		kw.Th = o.cores
-		s, err = harness.KMeansSweep(kw)
-	}
+	e, _ := findExperiment(o.exp)
+	s, err := e.run(o, w)
 	if err != nil {
 		return err
 	}

@@ -99,3 +99,95 @@ func TestRunFaultsSmall(t *testing.T) {
 		t.Errorf("fault sweep output missing algorithm rows:\n%s", out)
 	}
 }
+
+// TestExperimentRegistry checks the registry drives both lookup and the
+// usage text: every registered experiment resolves, appears in the usage
+// table with its description, and the timeline entry is present.
+func TestExperimentRegistry(t *testing.T) {
+	names := experimentNames()
+	if len(names) != len(experiments) {
+		t.Fatalf("experimentNames() = %v, want %d entries", names, len(experiments))
+	}
+	usage := usageTable()
+	for _, e := range experiments {
+		if got, ok := findExperiment(e.name); !ok || got.name != e.name {
+			t.Errorf("findExperiment(%q) failed", e.name)
+		}
+		if !strings.Contains(usage, e.name) || !strings.Contains(usage, e.desc) {
+			t.Errorf("usage table missing %q:\n%s", e.name, usage)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == "timeline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("timeline not registered: %v", names)
+	}
+	if _, ok := findExperiment("nope"); ok {
+		t.Error("findExperiment accepted an unknown name")
+	}
+}
+
+// TestValidateTimelineEpoch covers the -epoch flag gating for -exp=timeline.
+func TestValidateTimelineEpoch(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad epoch", []string{"-exp", "timeline", "-epoch", "10"}, "-epoch"},
+		{"zero epoch", []string{"-exp", "timeline", "-epoch", "0us"}, "-epoch"},
+		{"valid epoch", []string{"-exp", "timeline", "-epoch", "2us"}, ""},
+		{"epoch ignored elsewhere", []string{"-exp", "cores", "-epoch", "10"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, _, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%v) = %v, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunTimelineSmall runs a tiny timeline sweep end to end: both
+// algorithms must report a phase breakdown.
+func TestRunTimelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	o, _, err := parseFlags([]string{"-exp", "timeline", "-n", "4096", "-cores", "8",
+		"-sp", "1", "-epoch", "5us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "phase breakdown") {
+		t.Errorf("timeline output missing phase breakdown:\n%s", out)
+	}
+	for _, phase := range []string{"p1:sort-chunks", "sort-runs"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("timeline output missing phase %q:\n%s", phase, out)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// nmsim's -telemetry-out (or any other trace-event source): each file must
+// parse as a trace-event container with a non-empty traceEvents array whose
+// entries all carry a phase and a name. CI uses it to prove the telemetry
+// exporter's output is loadable before anyone drags it into Perfetto.
+//
+// Usage:
+//
+//	tracecheck file.trace.json [more.trace.json ...]
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.trace.json [more.trace.json ...]")
+		os.Exit(2)
+	}
+	if !check(os.Args[1:], os.Stdout, os.Stderr) {
+		os.Exit(1)
+	}
+}
+
+// check validates each file, reporting per-file verdicts, and returns
+// whether every file passed.
+func check(paths []string, out, errw io.Writer) bool {
+	ok := true
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = telemetry.ValidateChromeJSON(data)
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "tracecheck: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(out, "%s: ok\n", path)
+	}
+	return ok
+}

@@ -38,10 +38,14 @@ func GNUSortOpt(e *Env, a trace.U64, opt GNUOptions) {
 	bar := par.NewBarrier(e.P)
 	ps := NewPMSort(e.P, a, buf, buf, sample, sampleTmp, bar)
 	ps.exact = opt.Exact
+	ps.phases = true // top-level sort: mark run-formation and merge phases
 	par.RunPoison(e.P, e.Rec, bar, func(tid int, tp *trace.TP) {
 		ps.Run(tid, tp)
 		// Copy the merged result back so the sort is in-place for the
 		// caller, as __gnu_parallel::sort is.
+		if tid == 0 {
+			tp.Phase("copy-back")
+		}
 		lo, hi := par.Span(n, e.P, tid)
 		trace.Copy(tp, a.Slice(lo, hi), buf.Slice(lo, hi))
 	})

@@ -112,6 +112,7 @@ func NMSort(e *Env, a trace.U64, opt NMOptions) NMStats {
 		// for both phases.
 		ns := pl.pivotSample
 		if tid == 0 {
+			tp.Phase("pivots")
 			rng := e.RNG(0)
 			for i := 0; i < ns; i++ {
 				v := a.Get(tp, rng.Intn(n))
@@ -138,6 +139,9 @@ func NMSort(e *Env, a trace.U64, opt NMOptions) NMStats {
 		bar.Wait(tp)
 
 		// --- Phase 1: sort chunks, record bucket metadata --------------
+		if tid == 0 {
+			tp.Phase("p1:sort-chunks")
+		}
 		if opt.DMA && tid == 0 {
 			// Prefetch chunk 0 into the front buffer.
 			dmaCopy(tp, spIn.Slice(0, pl.chunkLen(n, 0)), a.Slice(0, pl.chunkLen(n, 0)))
@@ -212,6 +216,7 @@ func NMSort(e *Env, a trace.U64, opt NMOptions) NMStats {
 
 		// --- Phase 2: batch buckets, gather, merge, emit ----------------
 		if tid == 0 {
+			tp.Phase("p2:merge-batches")
 			batches = planBatches(tp, bucketTot, pl.chunkElems)
 			st.Batches = len(batches)
 		}

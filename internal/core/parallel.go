@@ -232,6 +232,7 @@ type PMSort struct {
 	sampleTmp trace.U64
 	splitters []uint64 // non-nil: skip sampling, use these (presplit)
 	exact     bool     // use exact multisequence selection for the merge
+	phases    bool     // thread 0 emits trace phase markers (top-level sorts)
 
 	bar  *par.Barrier
 	runs []trace.U64
@@ -267,6 +268,9 @@ func NewPMSort(p int, src, dst, tmp, sample, sampleTmp trace.U64, bar *par.Barri
 // exactly once.
 func (s *PMSort) Run(tid int, tp *trace.TP) {
 	n := s.src.Len()
+	if s.phases && tid == 0 {
+		tp.Phase("sort-runs")
+	}
 	if s.p == 1 {
 		MergeSortInto(tp, s.dst, s.src, s.tmp)
 		return
@@ -280,6 +284,9 @@ func (s *PMSort) Run(tid int, tp *trace.TP) {
 	s.bar.Wait(tp)
 
 	if tid == 0 {
+		if s.phases {
+			tp.Phase("merge-runs")
+		}
 		switch {
 		case s.splitters != nil:
 			s.mg = NewPMMergePresplit(s.p, s.runs, s.dst, s.splitters, s.bar)

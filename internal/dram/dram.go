@@ -11,9 +11,12 @@
 package dram
 
 import (
+	"fmt"
+
 	"repro/internal/addr"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -201,6 +204,46 @@ func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Tim
 
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() Stats { return d.stats }
+
+// RegisterProbes registers the device's telemetry counters: device-level
+// request and row-buffer counters on the "far" track, and per-channel bytes
+// and busy time on "far.ch<i>" tracks. Probe closures read simulator-owned
+// counters only.
+func (d *Device) RegisterProbes(tel *telemetry.Recorder) {
+	tel.Counter("far", "reads", func() uint64 { return d.stats.Reads })
+	tel.Counter("far", "writes", func() uint64 { return d.stats.Writes })
+	tel.Counter("far", "row_hits", func() uint64 { return d.stats.RowHits })
+	tel.Counter("far", "row_misses", func() uint64 { return d.stats.RowMisses })
+	tel.Counter("far", "row_conflicts", func() uint64 { return d.stats.RowConflicts })
+	for i := range d.channels {
+		bus := d.channels[i].bus
+		track := fmt.Sprintf("far.ch%d", i)
+		tel.Counter(track, "bytes", bus.Bytes)
+		tel.Counter(track, "busy_ps", func() uint64 { return uint64(bus.BusyTime()) })
+	}
+}
+
+// BytesMoved returns the total bytes transferred across all channel buses.
+func (d *Device) BytesMoved() uint64 {
+	var n uint64
+	for i := range d.channels {
+		n += d.channels[i].bus.Bytes()
+	}
+	return n
+}
+
+// BusyTime returns the summed busy time across all channel buses (the raw
+// material for per-phase utilization: divide a delta by duration x channels).
+func (d *Device) BusyTime() units.Time {
+	var t units.Time
+	for i := range d.channels {
+		t += d.channels[i].bus.BusyTime()
+	}
+	return t
+}
+
+// Channels returns the channel count.
+func (d *Device) Channels() int { return len(d.channels) }
 
 // Utilization returns the mean data-bus utilization across channels.
 func (d *Device) Utilization() float64 {

@@ -48,6 +48,14 @@ type Sim struct {
 	nRun     uint64
 	lastAt   units.Time // timestamp of the most recently executed event
 	watchers []watcher  // components registered with the stall detector
+
+	// Epoch sampler (telemetry hook). The engine stays decoupled from the
+	// telemetry package: it only promises to call sampler at every multiple
+	// of epoch that event execution crosses. Disabled cost is one nil check
+	// per event; no events are ever scheduled for sampling.
+	sampler    func(units.Time)
+	epoch      units.Time
+	nextSample units.Time
 }
 
 // New returns an empty simulator at time zero.
@@ -76,10 +84,36 @@ func (s *Sim) After(d units.Time, fn Event) {
 	s.At(s.now+d, fn)
 }
 
+// SetSampler installs fn as the epoch sampler: before executing the first
+// event at or after each multiple of epoch (starting at time zero), the
+// engine calls fn with that boundary time. Boundaries are visited in order
+// and exactly once, so fn sees a complete, evenly spaced time series; state
+// between events is piecewise-constant, so sampling at the boundary from
+// the following event's execution point observes exactly the state that
+// held at the boundary. Sampling costs no scheduled events. Installing a
+// non-positive epoch or nil fn panics.
+func (s *Sim) SetSampler(epoch units.Time, fn func(units.Time)) {
+	if epoch <= 0 {
+		panic("engine: sampler epoch must be positive")
+	}
+	if fn == nil {
+		panic("engine: nil sampler")
+	}
+	s.sampler = fn
+	s.epoch = epoch
+	s.nextSample = 0
+}
+
 // step pops and executes the next event unconditionally; callers check the
 // queue first.
 func (s *Sim) step() {
 	it := heap.Pop(&s.events).(item)
+	if s.sampler != nil {
+		for s.nextSample <= it.at {
+			s.sampler(s.nextSample)
+			s.nextSample += s.epoch
+		}
+	}
 	s.now = it.at
 	s.lastAt = it.at
 	s.nRun++

@@ -88,6 +88,11 @@ func (r *Resource) Utilization() float64 {
 // that posted traffic was run to completion.
 func (r *Resource) BusyUntil() units.Time { return r.busyUntil }
 
+// BusyTime returns the total time the resource has been occupied — the
+// numerator of Utilization, exposed for telemetry probes and per-phase
+// utilization deltas.
+func (r *Resource) BusyTime() units.Time { return r.busyTime }
+
 // Served returns the number of requests this resource has serviced.
 func (r *Resource) Served() uint64 { return r.served }
 

@@ -31,6 +31,7 @@ package fault
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/xrand"
 )
@@ -49,12 +50,12 @@ type Config struct {
 	Seed uint64 // fault stream seed; 0 disables all injection
 
 	// Far-memory transient bit errors (ECC SECDED model).
-	BitErrorRate      float64     // probability a far read observes a transient error
-	UncorrectableFrac float64     // fraction of errors SECDED cannot correct (double-bit)
-	StuckFrac         float64     // fraction of uncorrectable errors that persist across every retry
-	CorrectLatency    units.Time  // extra controller latency per corrected error
-	RetryBackoff      units.Time  // base backoff before the first controller re-read
-	MaxRetries        int         // controller re-reads before declaring a MemFault
+	BitErrorRate      float64    // probability a far read observes a transient error
+	UncorrectableFrac float64    // fraction of errors SECDED cannot correct (double-bit)
+	StuckFrac         float64    // fraction of uncorrectable errors that persist across every retry
+	CorrectLatency    units.Time // extra controller latency per corrected error
+	RetryBackoff      units.Time // base backoff before the first controller re-read
+	MaxRetries        int        // controller re-reads before declaring a MemFault
 
 	// Near-memory channel degradation.
 	DegradeProb   float64    // probability a (channel, epoch) window is degraded
@@ -186,6 +187,20 @@ func New(cfg Config) *Injector {
 		panic(err)
 	}
 	return &Injector{cfg: cfg, enabled: cfg.Enabled()}
+}
+
+// RegisterProbes registers the injector's fault counters on the "fault"
+// track. A nil or disabled injector registers nothing: a fault-free replay
+// has no fault tracks rather than five all-zero ones.
+func (in *Injector) RegisterProbes(tel *telemetry.Recorder) {
+	if in == nil || !in.enabled {
+		return
+	}
+	tel.Counter("fault", "corrected", func() uint64 { return in.stats.FarCorrected })
+	tel.Counter("fault", "retries", func() uint64 { return in.stats.FarRetries })
+	tel.Counter("fault", "mem_faults", func() uint64 { return in.stats.MemFaults })
+	tel.Counter("fault", "near_degraded", func() uint64 { return in.stats.NearDegraded })
+	tel.Counter("fault", "noc_retransmits", func() uint64 { return in.stats.NoCRetransmits })
 }
 
 // FarPlan is the ECC outcome for one far-memory read. The device applies

@@ -3,46 +3,33 @@ package harness
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/machine"
-	"repro/internal/report"
 )
 
-// FaultPoint is one (algorithm, fault rate) cell of a fault sweep.
-type FaultPoint struct {
-	Label    string
-	Rate     float64 // far-memory bit error rate (the sweep axis)
-	Result   machine.Result
-	Slowdown float64 // sim time over the same algorithm's fault-free run
-	MemFault bool    // the replay returned uncorrected data
-}
-
-// FaultSweep is the robustness experiment the perfect-memory harness could
-// not ask: how the co-design claims degrade as the far memory's error rate
-// rises — slowdown from ECC corrections, controller retries, degraded near
-// channels, and NoC retransmissions, and the rate at which replays start
-// returning uncorrected data (MemFaults).
-type FaultSweep struct {
-	Title  string
-	Points []FaultPoint
-}
-
-// FaultRates is the default sweep axis: per-read transient error rates
+// FaultRates is the default fault-sweep axis: per-read transient error rates
 // from a healthy part to one on its way out.
 var FaultRates = []float64{1e-5, 1e-4, 1e-3, 1e-2}
 
-// RunFaultSweep records NMsort and the merge baseline once each, then
-// replays both under the fault environment fault.Profile(seed, rate) for
-// every rate, on nodes with the given near-memory channel count. A rate of
-// zero (always included as the first point per algorithm) anchors the
-// slowdown column. Replays that end in a MemFault outcome are reported as
-// data, not failures.
-func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (FaultSweep, error) {
-	s := FaultSweep{Title: fmt.Sprintf(
+// RunFaultSweep is the robustness experiment the perfect-memory harness
+// could not ask: how the co-design claims degrade as the far memory's error
+// rate rises — slowdown from ECC corrections, controller retries, degraded
+// near channels, and NoC retransmissions, and the rate at which replays
+// start returning uncorrected data (MemFaults).
+//
+// It records NMsort and the merge baseline once each, then replays both
+// under the fault environment fault.Profile(seed, rate) for every rate, on
+// nodes with the given near-memory channel count. A rate of zero (always
+// included as the first point per algorithm) anchors the slowdown column.
+// Replays that end in a MemFault outcome are reported as data, not
+// failures. The result is an ordinary Sweep with the fault axis switched
+// on, so fault and plain sweeps render through the same table path.
+func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (Sweep, error) {
+	s := Sweep{Title: fmt.Sprintf(
 		"Fault sweep, N=%d keys, %d cores, %dX near bandwidth, fault seed %d",
-		w.N, w.Threads, nearChannels/4, seed)}
+		w.N, w.Threads, nearChannels/4, seed),
+		FaultAxis: true}
 	if len(rates) == 0 {
 		rates = FaultRates
 	}
@@ -68,8 +55,10 @@ func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (
 			if rate == 0 {
 				base = res.SimTime.Seconds()
 			}
-			s.Points = append(s.Points, FaultPoint{
+			s.Points = append(s.Points, SweepPoint{
 				Label:    string(alg),
+				Cores:    w.Threads,
+				Rho:      float64(nearChannels) / 4,
 				Rate:     rate,
 				Result:   res,
 				Slowdown: res.SimTime.Seconds() / base,
@@ -78,32 +67,4 @@ func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (
 		}
 	}
 	return s, nil
-}
-
-// Report converts the sweep into a renderable table (text/CSV/markdown).
-func (s FaultSweep) Report() *report.Table {
-	t := report.New(s.Title, "config", "rate", "sim_time", "slowdown",
-		"corrected", "retries", "mem_faults", "degraded", "retrans")
-	for _, p := range s.Points {
-		f := p.Result.Faults
-		t.AddRowf(p.Label, fmt.Sprintf("%.0e", p.Rate), p.Result.SimTime.String(),
-			fmt.Sprintf("%.3f", p.Slowdown),
-			f.FarCorrected, f.FarRetries, f.MemFaults, f.NearDegraded, f.NoCRetransmits)
-	}
-	return t
-}
-
-// String renders the sweep as an aligned series.
-func (s FaultSweep) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", s.Title)
-	fmt.Fprintf(&b, "%-16s %8s %14s %9s %10s %8s %10s %9s %8s\n",
-		"config", "rate", "sim time", "slowdown", "corrected", "retries", "mem faults", "degraded", "retrans")
-	for _, p := range s.Points {
-		f := p.Result.Faults
-		fmt.Fprintf(&b, "%-16s %8.0e %14s %8.3fx %10d %8d %10d %9d %8d\n",
-			p.Label, p.Rate, p.Result.SimTime, p.Slowdown,
-			f.FarCorrected, f.FarRetries, f.MemFaults, f.NearDegraded, f.NoCRetransmits)
-	}
-	return b.String()
 }

@@ -234,15 +234,18 @@ func mark(name string, faulted bool) string {
 // one row per algorithm configuration, the transposed layout that suits
 // CSV consumers better than the paper's row-per-metric layout.
 func (t Table) Report() *report.Table {
-	rt := report.New(t.Title, "config", "rho", "sim_time", "scratchpad_acc", "dram_acc", "rel_time")
+	rt := report.New(t.Title, "config", "rho", "sim_time", "scratchpad_acc", "dram_acc", "rel_time",
+		"corrected", "retries", "mem_faults")
 	for _, r := range t.Rows {
 		rho := "-"
 		if r.Rho > 0 {
 			rho = fmt.Sprintf("%g", r.Rho)
 		}
+		f := r.Result.Faults
 		rt.AddRowf(r.Name, rho, r.Result.SimTime.String(),
 			r.Result.NearAccesses, r.Result.FarAccesses,
-			fmt.Sprintf("%.3f", r.RelTime))
+			fmt.Sprintf("%.3f", r.RelTime),
+			f.FarCorrected, f.FarRetries, f.MemFaults)
 	}
 	return rt
 }

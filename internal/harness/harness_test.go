@@ -295,7 +295,7 @@ func TestReportRenderers(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt := tb.Report()
-	if len(rt.Rows) != 4 || len(rt.Columns) != 6 {
+	if len(rt.Rows) != 4 || len(rt.Columns) != 9 {
 		t.Errorf("table report shape: %dx%d", len(rt.Rows), len(rt.Columns))
 	}
 	var buf strings.Builder

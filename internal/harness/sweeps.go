@@ -6,47 +6,151 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/telemetry"
+	"repro/internal/units"
 )
 
-// SweepPoint is one (configuration, result) pair of a sweep.
+// SweepPoint is one (configuration, result) pair of a sweep. The fault-axis
+// fields (Rate, Slowdown, MemFault) are meaningful only in sweeps with
+// FaultAxis set; elsewhere they stay zero.
 type SweepPoint struct {
 	Label  string
 	Cores  int
 	Rho    float64
 	Result machine.Result
+
+	Rate     float64 // far-memory bit error rate (fault sweeps)
+	Slowdown float64 // sim time over the same algorithm's fault-free run
+	MemFault bool    // the replay returned uncorrected data
 }
 
-// Sweep is a labelled series of simulation results.
+// Sweep is a labelled series of simulation results. Plain sweeps and fault
+// sweeps share this one type — and therefore one table path — so the fault
+// counters appear in every report and the fault-axis columns switch on.
 type Sweep struct {
-	Title  string
-	Points []SweepPoint
+	Title     string
+	FaultAxis bool // points vary a fault rate: add rate/slowdown/degraded/retrans columns
+	Points    []SweepPoint
 }
 
 // Report converts the sweep into a renderable table (text/CSV/markdown).
+// Fault counters are always present; fault-axis sweeps additionally carry
+// the rate, slowdown, and the fault-layer detail columns.
 func (s Sweep) Report() *report.Table {
-	t := report.New(s.Title, "config", "cores", "rho", "sim_time", "near_acc", "far_acc", "far_util", "near_util")
+	cols := []string{"config", "cores", "rho"}
+	if s.FaultAxis {
+		cols = append(cols, "rate", "slowdown")
+	}
+	cols = append(cols, "sim_time", "near_acc", "far_acc", "far_util", "near_util",
+		"corrected", "retries", "mem_faults")
+	if s.FaultAxis {
+		cols = append(cols, "degraded", "retrans")
+	}
+	t := report.New(s.Title, cols...)
 	for _, p := range s.Points {
-		t.AddRowf(p.Label, p.Cores, p.Rho, p.Result.SimTime.String(),
+		f := p.Result.Faults
+		row := []any{mark(p.Label, p.MemFault), p.Cores, p.Rho}
+		if s.FaultAxis {
+			row = append(row, fmt.Sprintf("%.0e", p.Rate), fmt.Sprintf("%.3f", p.Slowdown))
+		}
+		row = append(row, p.Result.SimTime.String(),
 			p.Result.NearAccesses, p.Result.FarAccesses,
 			fmt.Sprintf("%.3f", p.Result.FarUtilization),
-			fmt.Sprintf("%.3f", p.Result.NearUtilization))
+			fmt.Sprintf("%.3f", p.Result.NearUtilization),
+			f.FarCorrected, f.FarRetries, f.MemFaults)
+		if s.FaultAxis {
+			row = append(row, f.NearDegraded, f.NoCRetransmits)
+		}
+		t.AddRowf(row...)
 	}
 	return t
 }
 
-// String renders the sweep as an aligned series.
+// String renders the sweep as an aligned series followed by the per-phase
+// traffic breakdown of every point whose replay carried phase markers.
 func (s Sweep) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", s.Title)
-	fmt.Fprintf(&b, "%-24s %8s %6s %14s %14s %14s %8s %8s\n",
-		"config", "cores", "rho", "sim time", "near acc", "far acc", "farU", "nearU")
+	fmt.Fprintf(&b, "%-24s %8s %6s", "config", "cores", "rho")
+	if s.FaultAxis {
+		fmt.Fprintf(&b, " %8s %9s", "rate", "slowdown")
+	}
+	fmt.Fprintf(&b, " %14s %14s %14s %8s %8s %10s %8s %10s",
+		"sim time", "near acc", "far acc", "farU", "nearU",
+		"corrected", "retries", "mem faults")
+	if s.FaultAxis {
+		fmt.Fprintf(&b, " %9s %8s", "degraded", "retrans")
+	}
+	b.WriteByte('\n')
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%-24s %8d %6.1f %14s %14d %14d %7.1f%% %7.1f%%\n",
-			p.Label, p.Cores, p.Rho, p.Result.SimTime,
+		f := p.Result.Faults
+		fmt.Fprintf(&b, "%-24s %8d %6.1f", mark(p.Label, p.MemFault), p.Cores, p.Rho)
+		if s.FaultAxis {
+			fmt.Fprintf(&b, " %8.0e %8.3fx", p.Rate, p.Slowdown)
+		}
+		fmt.Fprintf(&b, " %14s %14d %14d %7.1f%% %7.1f%% %10d %8d %10d",
+			p.Result.SimTime,
 			p.Result.NearAccesses, p.Result.FarAccesses,
-			100*p.Result.FarUtilization, 100*p.Result.NearUtilization)
+			100*p.Result.FarUtilization, 100*p.Result.NearUtilization,
+			f.FarCorrected, f.FarRetries, f.MemFaults)
+		if s.FaultAxis {
+			fmt.Fprintf(&b, " %9d %8d", f.NearDegraded, f.NoCRetransmits)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(s.phaseBreakdown())
+	return b.String()
+}
+
+// phaseBreakdown renders one aligned block attributing each point's
+// bandwidth and channel utilization to its algorithm phases. Points whose
+// traces carried no markers are skipped; an empty string means none did.
+func (s Sweep) phaseBreakdown() string {
+	var b strings.Builder
+	for _, p := range s.Points {
+		if len(p.Result.Phases) == 0 {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "\nphase breakdown\n")
+			fmt.Fprintf(&b, "  %-24s %-18s %6s %9s %6s %9s %6s\n",
+				"config", "phase", "time%", "far GB/s", "farU", "near GB/s", "nearU")
+		}
+		label := p.Label
+		if s.FaultAxis {
+			label = fmt.Sprintf("%s@%.0e", p.Label, p.Rate)
+		}
+		total := p.Result.SimTime
+		for _, ph := range p.Result.Phases {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(ph.Duration()) / float64(total)
+			}
+			fmt.Fprintf(&b, "  %-24s %-18s %5.1f%% %9.2f %5.1f%% %9.2f %5.1f%%\n",
+				mark(label, p.MemFault), ph.Name, share,
+				ph.FarGBps(), 100*ph.FarUtil(), ph.NearGBps(), 100*ph.NearUtil())
+		}
 	}
 	return b.String()
+}
+
+// PhaseTable converts a phase-attribution series into a renderable table —
+// the same numbers as the sweep's phase-breakdown block, for standalone
+// export (nmsim's telemetry report, the timeline experiment).
+func PhaseTable(title string, total units.Time, phases []telemetry.PhaseUsage) *report.Table {
+	t := report.New(title, "phase", "start", "duration", "time_pct",
+		"far_gbps", "far_util", "near_gbps", "near_util")
+	for _, ph := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ph.Duration()) / float64(total)
+		}
+		t.AddRowf(ph.Name, ph.Start.String(), ph.Duration().String(),
+			fmt.Sprintf("%.1f", share),
+			fmt.Sprintf("%.2f", ph.FarGBps()), fmt.Sprintf("%.3f", ph.FarUtil()),
+			fmt.Sprintf("%.2f", ph.NearGBps()), fmt.Sprintf("%.3f", ph.NearUtil()))
+	}
+	return t
 }
 
 // BandwidthSweep reproduces claim C1 (§I-A: "a linear reduction in running

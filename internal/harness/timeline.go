@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// RunTimeline records the algorithm once and replays it on a NodeFor node
+// with a telemetry recorder attached, sampling every probe at the given
+// epoch, under the fault environment fc (the zero config for perfect
+// memory). It returns the replay result and the sealed recorder, ready for
+// ExportChrome/WriteCSV. A MemFault outcome is tolerated like everywhere
+// else in the harness (the timeline of a faulting run is exactly what one
+// wants to look at).
+func RunTimeline(alg Algorithm, w Workload, nearChannels int, epoch units.Time, fc fault.Config) (machine.Result, *telemetry.Recorder, error) {
+	rec, err := Record(alg, w)
+	if err != nil {
+		return machine.Result{}, nil, err
+	}
+	tel := telemetry.New(epoch)
+	cfg := NodeFor(w.Threads, nearChannels, w.SP)
+	cfg.MaxEvents = w.MaxEvents
+	cfg.Fault = fc
+	cfg.Telemetry = tel
+	res, _, err := runTolerant(cfg, rec.Trace)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, tel, nil
+}
+
+// TimelineSweep runs the timeline experiment: NMsort and the merge baseline
+// replayed with telemetry attached, reported as an ordinary sweep — whose
+// phase breakdown is the experiment's point. The recorders are discarded;
+// use RunTimeline to keep one for export.
+func TimelineSweep(w Workload, nearChannels int, epoch units.Time) (Sweep, error) {
+	s := Sweep{Title: fmt.Sprintf("Timeline sweep, N=%d keys, %d cores, %dX near bandwidth, epoch %s",
+		w.N, w.Threads, nearChannels/4, epoch)}
+	for _, alg := range []Algorithm{AlgGNUSort, AlgNMSort} {
+		res, _, err := RunTimeline(alg, w, nearChannels, epoch, fault.Config{})
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, SweepPoint{
+			Label:  string(alg),
+			Cores:  w.Threads,
+			Rho:    float64(nearChannels) / 4,
+			Result: res,
+		})
+	}
+	return s, nil
+}

@@ -78,14 +78,15 @@ func Analyzers() []*Analyzer {
 // whose code runs inside, or records input for, the discrete-event
 // simulation. Rules that guard replay determinism apply only here.
 var simulatorPackages = map[string]bool{
-	"internal/engine":   true,
-	"internal/machine":  true,
-	"internal/dram":     true,
-	"internal/noc":      true,
-	"internal/trace":    true,
-	"internal/cachesim": true,
-	"internal/spmem":    true,
-	"internal/fault":    true,
+	"internal/engine":    true,
+	"internal/machine":   true,
+	"internal/dram":      true,
+	"internal/noc":       true,
+	"internal/trace":     true,
+	"internal/cachesim":  true,
+	"internal/spmem":     true,
+	"internal/fault":     true,
+	"internal/telemetry": true,
 }
 
 // IsSimulatorPackage reports whether the import path (relative to the

@@ -105,6 +105,12 @@ func (c *core) run() {
 			c.pc++
 			return
 
+		case trace.OpPhase:
+			// Timing-neutral marker: snapshot device counters for phase
+			// attribution, no memory traffic, no simulated time.
+			c.m.notePhase(int(op.Addr))
+			c.next()
+
 		default:
 			panic(fmt.Sprintf("machine: core %d hit unknown op kind %d", c.id, op.Kind))
 		}
@@ -159,20 +165,32 @@ func (c *core) next() {
 type barrierCtl struct {
 	need     int
 	waiting  []*core
+	arrivals []units.Time // arrival time of each waiting core, same order
 	releases []units.Time
 }
 
 func (b *barrierCtl) arrive(c *core) {
 	b.waiting = append(b.waiting, c)
+	b.arrivals = append(b.arrivals, c.m.sim.Now())
 	if len(b.waiting) < b.need {
 		return
 	}
 	released := b.waiting
+	arrivals := b.arrivals
 	b.waiting = nil
-	b.releases = append(b.releases, c.m.sim.Now())
+	b.arrivals = nil
+	now := c.m.sim.Now()
+	b.releases = append(b.releases, now)
+	if tel := c.m.tel; tel != nil {
+		// One wait slice per core, arrival to release, on its own track —
+		// the Perfetto view of load imbalance at each phase boundary.
+		for i, w := range released {
+			tel.Span(c.m.coreTracks[w.id], "barrier-wait", arrivals[i], now)
+		}
+	}
 	for _, w := range released {
 		w := w
-		c.m.sim.At(c.m.sim.Now(), w.run)
+		c.m.sim.At(now, w.run)
 	}
 }
 
@@ -207,6 +225,9 @@ func (d *dmaEngine) enqueue(c *core, src, dst addr.Addr, n units.Bytes) {
 	done := read
 	if write > done {
 		done = write
+	}
+	if tel := d.m.tel; tel != nil {
+		tel.Span("dma", "copy", now, done)
 	}
 	d.m.sim.At(done, func() {
 		c.dmaOut--

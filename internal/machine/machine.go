@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/spmem"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// MaxEvents bounds the events one replay may execute — the
 	// runaway-schedule guard. Zero means DefaultEventBudget.
 	MaxEvents uint64
+
+	// Telemetry, when non-nil, attaches a time-series recorder: every
+	// device registers its probes, the engine samples them each epoch, and
+	// barrier waits, DMA copies, and MemFaults land on event tracks. Nil
+	// (the default) costs nothing — no probes, no samples, no events.
+	// Recorders are single-use, like machines.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultEventBudget is the generous per-replay event bound used when
@@ -151,6 +159,12 @@ type Result struct {
 
 	Events uint64 // discrete events executed (simulation effort)
 
+	// Phases attributes memory traffic to the algorithm phases the trace
+	// marked (trace.OpPhase): one entry per marker, in order, covering
+	// [marker, next marker), plus an "(init)" head segment when the first
+	// marker arrives after time zero. Empty for traces without markers.
+	Phases []telemetry.PhaseUsage
+
 	// Faults summarizes injected-fault activity (zero without a fault
 	// layer): ECC corrections, controller retries, uncorrectable faults,
 	// degraded near accesses, and NoC retransmissions.
@@ -177,6 +191,11 @@ type Machine struct {
 	barrier *barrierCtl
 	cores   []*core
 	inj     *fault.Injector
+
+	tel        *telemetry.Recorder // nil: telemetry disabled
+	coreTracks []string            // per-core span track names (telemetry only)
+	phaseNames []string            // the replayed trace's phase-name table
+	phaseSnaps []phaseSnap         // device-counter snapshot per OpPhase marker
 }
 
 // New builds a machine from cfg.
@@ -204,7 +223,42 @@ func New(cfg Config) *Machine {
 	m.far.SetFaults(m.inj)
 	m.near.SetFaults(m.inj)
 	m.nw.SetFaults(m.inj)
+	if cfg.Telemetry != nil {
+		m.attachTelemetry(cfg.Telemetry)
+	}
 	return m
+}
+
+// attachTelemetry registers every component's probes on tel and installs
+// the engine's epoch sampler. Registration order fixes export column order,
+// so it must stay deterministic: memory devices, network, fault layer, then
+// the machine-level aggregates.
+func (m *Machine) attachTelemetry(tel *telemetry.Recorder) {
+	tel.Attach()
+	m.tel = tel
+	m.far.RegisterProbes(tel)
+	m.near.RegisterProbes(tel)
+	m.nw.RegisterProbes(tel)
+	m.inj.RegisterProbes(tel)
+	tel.Counter("l2", "hits", func() uint64 { return m.l2Stats().Hits })
+	tel.Counter("l2", "misses", func() uint64 { return m.l2Stats().Misses })
+	tel.Counter("l2", "writebacks", func() uint64 { return m.l2Stats().Writebacks })
+	tel.Counter("dma", "copies", func() uint64 { return m.dma.issued })
+	tel.Counter("dma", "bytes", func() uint64 { return m.dma.bytes })
+	tel.Counter("sim", "events", m.sim.Executed)
+	m.sim.SetSampler(tel.Epoch(), tel.Sample)
+}
+
+// l2Stats aggregates the per-group L2 counters.
+func (m *Machine) l2Stats() cachesim.Stats {
+	var s cachesim.Stats
+	for _, l2 := range m.l2 {
+		t := l2.Stats()
+		s.Hits += t.Hits
+		s.Misses += t.Misses
+		s.Writebacks += t.Writebacks
+	}
+	return s
 }
 
 // Replay runs the trace to completion and returns the result. The trace
@@ -222,6 +276,13 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 	}
 	m.barrier = &barrierCtl{need: len(tr.Streams)}
 	m.cores = make([]*core, len(tr.Streams))
+	m.phaseNames = tr.PhaseNames
+	if m.tel != nil {
+		m.coreTracks = make([]string, len(tr.Streams))
+		for i := range m.coreTracks {
+			m.coreTracks[i] = fmt.Sprintf("core%d", i)
+		}
+	}
 	period := m.cfg.CoreHz.Period()
 	for i, s := range tr.Streams {
 		c := &core{m: m, id: i, group: i / m.cfg.CoresPerGroup, stream: s, period: period}
@@ -255,6 +316,13 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 	res.Events = m.sim.Executed()
 	res.BarrierTimes = m.barrier.releases
 	res.Faults = m.inj.Stats()
+	res.Phases = m.phaseUsages(end)
+	if m.tel != nil {
+		for _, f := range res.Faults.Faults {
+			m.tel.Instant("faults", "mem_fault", f.At)
+		}
+		m.tel.Finish(end)
+	}
 	if runErr != nil {
 		// A stalled or runaway replay: the result is returned for diagnosis
 		// but its SimTime is not a completion time.
@@ -354,4 +422,73 @@ func (m *Machine) atomic(g int, a addr.Addr) units.Time {
 	arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
 	dev := m.deviceAccess(arr, a, true)
 	return m.nw.Deliver(dev, g, 0)
+}
+
+// phaseSnap captures device totals at the moment an OpPhase marker replays.
+// Deltas between consecutive snapshots attribute traffic to phases.
+type phaseSnap struct {
+	id        int // index into phaseNames, or -1 for synthetic boundaries
+	at        units.Time
+	farBytes  uint64
+	nearBytes uint64
+	farBusy   units.Time
+	nearBusy  units.Time
+}
+
+func (m *Machine) snap(id int, at units.Time) phaseSnap {
+	return phaseSnap{
+		id: id, at: at,
+		farBytes:  m.far.BytesMoved(),
+		nearBytes: m.near.BytesMoved(),
+		farBusy:   m.far.BusyTime(),
+		nearBusy:  m.near.BusyTime(),
+	}
+}
+
+// notePhase handles a replayed OpPhase marker: snapshot the device counters
+// and, with telemetry attached, mark the phase on the recorder's phase track.
+func (m *Machine) notePhase(id int) {
+	now := m.sim.Now()
+	m.phaseSnaps = append(m.phaseSnaps, m.snap(id, now))
+	if m.tel != nil {
+		m.tel.MarkPhase(m.phaseNames[id], now)
+	}
+}
+
+// phaseUsages converts the marker snapshots into per-phase traffic deltas.
+// Each phase covers [its marker, the next marker); the last runs to end. A
+// synthetic "(init)" segment covers any traffic before the first marker.
+func (m *Machine) phaseUsages(end units.Time) []telemetry.PhaseUsage {
+	snaps := m.phaseSnaps
+	if len(snaps) == 0 {
+		return nil
+	}
+	if snaps[0].at > 0 {
+		head := phaseSnap{id: -1}
+		snaps = append([]phaseSnap{head}, snaps...)
+	}
+	final := m.snap(-1, end)
+	out := make([]telemetry.PhaseUsage, 0, len(snaps))
+	for i, s := range snaps {
+		next := final
+		if i+1 < len(snaps) {
+			next = snaps[i+1]
+		}
+		name := "(init)"
+		if s.id >= 0 {
+			name = m.phaseNames[s.id]
+		}
+		out = append(out, telemetry.PhaseUsage{
+			Name:         name,
+			Start:        s.at,
+			End:          next.at,
+			FarBytes:     next.farBytes - s.farBytes,
+			NearBytes:    next.nearBytes - s.nearBytes,
+			FarBusy:      next.farBusy - s.farBusy,
+			NearBusy:     next.nearBusy - s.nearBusy,
+			FarChannels:  m.far.Channels(),
+			NearChannels: m.near.Channels(),
+		})
+	}
+	return out
 }

@@ -10,6 +10,7 @@ package noc
 import (
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -100,6 +101,25 @@ func (nw *Network) transfer(link *engine.Resource, at units.Time, n units.Bytes)
 // SetFaults attaches a fault injector; nil (the default) models a lossless
 // network. Call before the first message.
 func (nw *Network) SetFaults(in *fault.Injector) { nw.inj = in }
+
+// RegisterProbes registers the network's telemetry counters on the "noc"
+// track: messages, payload bytes, and summed link busy time. Per-link
+// tracks would add hundreds of columns for a 64-group node, so the network
+// reports aggregates.
+func (nw *Network) RegisterProbes(tel *telemetry.Recorder) {
+	tel.Counter("noc", "msgs", func() uint64 { return nw.msgs })
+	tel.Counter("noc", "bytes", func() uint64 { return nw.bytes })
+	tel.Counter("noc", "busy_ps", func() uint64 { return uint64(nw.BusyTime()) })
+}
+
+// BusyTime returns the summed busy time across all links, both directions.
+func (nw *Network) BusyTime() units.Time {
+	var t units.Time
+	for i := range nw.tx {
+		t += nw.tx[i].BusyTime() + nw.rx[i].BusyTime()
+	}
+	return t
+}
 
 // Messages returns the total messages routed.
 func (nw *Network) Messages() uint64 { return nw.msgs }

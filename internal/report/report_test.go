@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -92,5 +93,90 @@ func TestRenderUnknownFormat(t *testing.T) {
 	var b bytes.Buffer
 	if err := sample().Render(&b, Format("bogus")); err == nil {
 		t.Error("expected error")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	// encoding/csv must quote the delicate cells: embedded commas, quotes,
+	// and newlines all survive a round trip through a standards-compliant
+	// reader.
+	tab := New("", "label", "note")
+	tab.AddRow("a,b", `say "hi"`)
+	tab.AddRow("line1\nline2", "plain")
+	var b bytes.Buffer
+	if err := tab.Render(&b, CSV); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"a,b"`, `"say ""hi"""`, "\"line1\nline2\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv output missing %q:\n%s", want, out)
+		}
+	}
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1][0] != "a,b" || rows[1][1] != `say "hi"` || rows[2][0] != "line1\nline2" {
+		t.Errorf("round trip = %q", rows)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	// A table with columns but no rows renders its header in every format
+	// without error — sweeps over empty axes must not crash the renderers.
+	tab := New("Empty", "a", "b")
+	for _, f := range []Format{Text, CSV, Markdown} {
+		var b bytes.Buffer
+		if err := tab.Render(&b, f); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !strings.Contains(b.String(), "a") {
+			t.Errorf("%s: header missing:\n%s", f, b.String())
+		}
+	}
+
+	// Text output of an untitled empty table is exactly the header line.
+	var b bytes.Buffer
+	if err := New("", "x", "y").Render(&b, Text); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x  y\n" {
+		t.Errorf("text = %q, want %q", b.String(), "x  y\n")
+	}
+}
+
+func TestMarkdownUntitled(t *testing.T) {
+	// No title → no bold header line; the table starts at the column row.
+	var b bytes.Buffer
+	tab := New("", "a")
+	tab.AddRow("1")
+	if err := tab.Render(&b, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "**") {
+		t.Errorf("untitled markdown renders a bold title:\n%s", b.String())
+	}
+	if !strings.HasPrefix(b.String(), "| a |") {
+		t.Errorf("markdown = %q", b.String())
+	}
+}
+
+func TestTextWideCellWidensColumn(t *testing.T) {
+	// A cell longer than its header widens the whole column so later
+	// columns still align.
+	tab := New("", "c", "d")
+	tab.AddRow("very-long-cell", "x")
+	tab.AddRow("s", "y")
+	var b bytes.Buffer
+	if err := tab.Render(&b, Text); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	want := strings.Index(lines[1], "x")
+	for _, line := range []string{lines[0], lines[2]} {
+		if idx := strings.IndexAny(line, "dy"); idx != want {
+			t.Errorf("second column misaligned:\n%s", b.String())
+		}
 	}
 }

@@ -7,9 +7,12 @@
 package spmem
 
 import (
+	"fmt"
+
 	"repro/internal/addr"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -119,6 +122,41 @@ func (d *Device) BulkAcquire(at units.Time, n units.Bytes, write bool) units.Tim
 
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() Stats { return d.stats }
+
+// RegisterProbes registers the device's telemetry counters: device-level
+// request counters on the "near" track and per-channel bytes/busy time on
+// "near.ch<i>" tracks.
+func (d *Device) RegisterProbes(tel *telemetry.Recorder) {
+	tel.Counter("near", "reads", func() uint64 { return d.stats.Reads })
+	tel.Counter("near", "writes", func() uint64 { return d.stats.Writes })
+	for i, bus := range d.channels {
+		bus := bus
+		track := fmt.Sprintf("near.ch%d", i)
+		tel.Counter(track, "bytes", bus.Bytes)
+		tel.Counter(track, "busy_ps", func() uint64 { return uint64(bus.BusyTime()) })
+	}
+}
+
+// BytesMoved returns the total bytes transferred across all channels.
+func (d *Device) BytesMoved() uint64 {
+	var n uint64
+	for _, bus := range d.channels {
+		n += bus.Bytes()
+	}
+	return n
+}
+
+// BusyTime returns the summed busy time across all channels.
+func (d *Device) BusyTime() units.Time {
+	var t units.Time
+	for _, bus := range d.channels {
+		t += bus.BusyTime()
+	}
+	return t
+}
+
+// Channels returns the channel count.
+func (d *Device) Channels() int { return len(d.channels) }
 
 // Utilization returns the mean channel utilization.
 func (d *Device) Utilization() float64 {

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// sampleRecorder builds a recorder exercising every event kind.
+func sampleRecorder() *Recorder {
+	r := New(units.Microsecond)
+	var v uint64
+	r.Counter("far", "reads", func() uint64 { return v })
+	r.Counter("near", "writes", func() uint64 { return 3 * v })
+	r.MarkPhase("p1", 0)
+	r.Sample(0)
+	v = 10
+	r.Sample(units.Microsecond)
+	r.MarkPhase("p2", 1500*units.Nanosecond)
+	r.Span("core0", "barrier-wait", units.Microsecond, 2*units.Microsecond)
+	r.Instant("faults", "mem_fault", 1800*units.Nanosecond)
+	v = 25
+	r.Finish(2 * units.Microsecond)
+	return r
+}
+
+func TestExportChromeValidates(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleRecorder().ExportChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeJSON(b.Bytes()); err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{`"p1"`, `"p2"`, `"barrier-wait"`, `"mem_fault"`, `"far.reads"`, `"near.writes"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+}
+
+func TestExportChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleRecorder().ExportChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleRecorder().ExportChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical recorders exported different bytes")
+	}
+}
+
+func TestExportChromeCounterDeltas(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleRecorder().ExportChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Value *uint64 `json:"value"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// far.reads is 0, 10, 25 cumulative → deltas 0, 10, 15.
+	var got []uint64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Name == "far.reads" {
+			if ev.Args.Value == nil {
+				t.Fatal("counter event without value")
+			}
+			got = append(got, *ev.Args.Value)
+		}
+	}
+	want := []uint64{0, 10, 15}
+	if len(got) != len(want) {
+		t.Fatalf("far.reads deltas = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("far.reads deltas = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChromeTs(t *testing.T) {
+	cases := []struct {
+		t    units.Time
+		want string
+	}{
+		{0, "0.000000"},
+		{units.Picosecond, "0.000001"},
+		{units.Microsecond, "1.000000"},
+		{1500 * units.Nanosecond, "1.500000"},
+		{-units.Nanosecond, "0.000000"},
+	}
+	for _, c := range cases {
+		if got := chromeTs(c.t); got != c.want {
+			t.Errorf("chromeTs(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestValidateChromeJSONRejects(t *testing.T) {
+	cases := []struct{ label, in string }{
+		{"garbage", `not json`},
+		{"no events", `{"traceEvents":[]}`},
+		{"missing array", `{}`},
+		{"no ph", `{"traceEvents":[{"name":"x"}]}`},
+		{"no name", `{"traceEvents":[{"ph":"X"}]}`},
+		{"empty name", `{"traceEvents":[{"ph":"X","name":""}]}`},
+	}
+	for _, c := range cases {
+		if err := ValidateChromeJSON([]byte(c.in)); err == nil {
+			t.Errorf("%s accepted", c.label)
+		}
+	}
+}

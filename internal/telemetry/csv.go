@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteCSV dumps the sampled time series: one row per sample epoch, one
+// column per probe (cumulative counter values), headed by the simulated
+// timestamp in picoseconds. Track and counter names never contain commas or
+// quotes (they are generated identifiers like "far.ch0" / "bytes"), so the
+// encoding is plain and byte-deterministic.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("t_ps")
+	for i := range r.probes {
+		bw.WriteByte(',')
+		bw.WriteString(r.probes[i].track)
+		bw.WriteByte('.')
+		bw.WriteString(r.probes[i].name)
+	}
+	bw.WriteByte('\n')
+	for s := 0; s < len(r.times); s++ {
+		bw.WriteString(strconv.FormatInt(int64(r.times[s]), 10))
+		for _, v := range r.row(s) {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatUint(v, 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

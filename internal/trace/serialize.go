@@ -20,15 +20,24 @@ import (
 //	magic "NMTR" | version u32
 //	costs: 4 x i64 | l1: cap i64, line i64, ways i64
 //	threads u32
+//	phase names (version >= 2): count i64, then per name len uvarint + bytes
 //	per thread: ops u32, then packed ops
 //	crc64(ECMA) of everything before it
 //
 // Ops are delta-packed per kind: a leading tag byte (kind | flags) followed
 // by only the fields that kind uses.
+//
+// Version history: v1 had no phase-name table and no OpPhase ops; v2 added
+// both. The writer emits v2; the reader accepts both.
 
 const (
-	traceMagic   = "NMTR"
-	traceVersion = 1
+	traceMagic     = "NMTR"
+	traceVersion   = 2
+	traceVersionV1 = 1
+
+	// maxPhaseNames bounds the phase table a hostile stream can request;
+	// real traces mark a handful of phases.
+	maxPhaseNames = 1 << 12
 )
 
 const (
@@ -58,6 +67,18 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	var buf [3 * binary.MaxVarintLen64]byte
+	if err := put(int64(len(tr.PhaseNames))); err != nil {
+		return cw.n, err
+	}
+	for _, name := range tr.PhaseNames {
+		n := binary.PutUvarint(buf[:], uint64(len(name)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return cw.n, err
+		}
+	}
 	for _, s := range tr.Streams {
 		if err := put(int64(len(s))); err != nil {
 			return cw.n, err
@@ -86,6 +107,8 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 				n += binary.PutUvarint(buf[n:], op.Addr)
 				n += binary.PutUvarint(buf[n:], op.Addr2)
 				n += binary.PutUvarint(buf[n:], uint64(op.Size))
+			case OpPhase:
+				n += binary.PutUvarint(buf[n:], op.Addr)
 			}
 			if _, err := bw.Write(buf[:n]); err != nil {
 				return cw.n, err
@@ -150,8 +173,9 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if hdr[0] != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", hdr[0])
+	version := hdr[0]
+	if version != traceVersion && version != traceVersionV1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	// Every stream costs at least its 8-byte length field, so a thread
 	// count beyond the remaining payload can only come from corruption;
@@ -172,6 +196,30 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			LineSize: units.Bytes(hdr[6]),
 			Ways:     int(hdr[7]),
 		},
+	}
+
+	if version >= 2 {
+		var nNames int64
+		if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+			return nil, fmt.Errorf("trace: phase-name count: %w", err)
+		}
+		if nNames < 0 || nNames > maxPhaseNames {
+			return nil, fmt.Errorf("trace: implausible phase-name count %d", nNames)
+		}
+		for i := int64(0); i < nNames; i++ {
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: phase name %d length: %w", i, err)
+			}
+			if l > uint64(br.Len()) {
+				return nil, fmt.Errorf("trace: phase name %d length %d exceeds payload", i, l)
+			}
+			name := make([]byte, l)
+			if _, err := io.ReadFull(br, name); err != nil {
+				return nil, fmt.Errorf("trace: phase name %d: %w", i, err)
+			}
+			tr.PhaseNames = append(tr.PhaseNames, string(name))
+		}
 	}
 
 	for t := int64(0); t < threads; t++ {
@@ -229,6 +277,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 					return nil, fmt.Errorf("trace: dma size %d overflows", sz)
 				}
 				op.Size = uint32(sz)
+			case OpPhase:
+				if op.Addr, err = binary.ReadUvarint(br); err != nil {
+					return nil, fmt.Errorf("trace: phase id: %w", err)
+				}
 			case OpBarrier, OpDMAWait, OpGap, OpEnd:
 				// tag only
 			default:

@@ -128,8 +128,11 @@ func dmaStream(t *testing.T, size uint64) []byte {
 	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
 		t.Fatal(err)
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, int64(2)); err != nil {
-		t.Fatal(err)
+	// Empty v2 phase-name table, then the stream length.
+	for _, n := range []int64{0, 2} {
+		if err := binary.Write(&buf, binary.LittleEndian, n); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var v [binary.MaxVarintLen64]byte
 	buf.WriteByte(byte(OpDMA))

@@ -32,6 +32,7 @@ const (
 	OpDMAWait             // block until all DMA copies issued by this thread finish
 	OpGap                 // pure compute time (only for gaps overflowing a uint32)
 	OpEnd                 // end of thread stream
+	OpPhase               // algorithm phase marker (Addr = index into Trace.PhaseNames)
 )
 
 // Op is one recorded event in a thread's stream. Gap carries the core
@@ -84,6 +85,7 @@ type TP struct {
 	pend  int64 // compute cycles since last recorded op
 	costs Costs
 	ops   []Op
+	rec   *Recorder // owning recorder, for phase-name interning
 }
 
 // Tid returns the probe's thread id.
@@ -182,6 +184,23 @@ func (t *TP) Barrier() {
 	t.emit(Op{Kind: OpBarrier})
 }
 
+// Phase records an algorithm phase boundary: everything the thread does
+// from here until the next marker (or the stream's end) belongs to the
+// named phase. Replay snapshots device counters at each marker, turning the
+// deltas into per-phase bandwidth and utilization breakdowns.
+//
+// Phase markers carry no memory traffic and attach the pending compute gap
+// exactly as the next op would, so a trace with markers replays to the
+// identical timeline as the same trace without them. By convention exactly
+// one thread (thread 0) marks phases: the names are interned in the shared
+// Recorder, which is not synchronized.
+func (t *TP) Phase(name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Op{Addr: uint64(t.rec.phaseID(name)), Kind: OpPhase})
+}
+
 // DMA records an asynchronous bulk copy of n bytes from src to dst, the
 // paper's future-work DMA engine (§VII). Replay charges the transfer to
 // the memory channels in the background while the core continues.
@@ -215,6 +234,9 @@ type Recorder struct {
 	l1       L1Geometry
 	threads  []*TP
 	finished bool
+
+	phaseNames []string       // interned phase names, in first-use order
+	phaseIDs   map[string]int // lookup only (never ranged): name -> index
 }
 
 // NewRecorder creates probes for p threads.
@@ -222,16 +244,29 @@ func NewRecorder(p int, l1 L1Geometry, costs Costs) *Recorder {
 	if p <= 0 {
 		panic("trace: need at least one thread")
 	}
-	r := &Recorder{costs: costs, l1: l1, threads: make([]*TP, p)}
+	r := &Recorder{costs: costs, l1: l1, threads: make([]*TP, p), phaseIDs: map[string]int{}}
 	for i := range r.threads {
 		r.threads[i] = &TP{
 			tid:   i,
 			l1:    cachesim.New(l1.Capacity, l1.LineSize, l1.Ways),
 			line:  uint64(l1.LineSize),
 			costs: costs,
+			rec:   r,
 		}
 	}
 	return r
+}
+
+// phaseID interns a phase name, returning its stable index. Called only
+// from the single phase-marking thread (see TP.Phase).
+func (r *Recorder) phaseID(name string) int {
+	if id, ok := r.phaseIDs[name]; ok {
+		return id
+	}
+	id := len(r.phaseNames)
+	r.phaseNames = append(r.phaseNames, name)
+	r.phaseIDs[name] = id
+	return id
 }
 
 // Thread returns thread i's probe. Probes are single-goroutine objects:
@@ -254,7 +289,8 @@ func (r *Recorder) Finish() *Trace {
 		panic("trace: Recorder.Finish called twice")
 	}
 	r.finished = true
-	tr := &Trace{Streams: make([][]Op, len(r.threads)), L1: r.l1, Costs: r.costs}
+	tr := &Trace{Streams: make([][]Op, len(r.threads)), L1: r.l1, Costs: r.costs,
+		PhaseNames: r.phaseNames}
 	for i, t := range r.threads {
 		t.flushEnd()
 		tr.Streams[i] = t.ops
@@ -267,6 +303,10 @@ type Trace struct {
 	Streams [][]Op
 	L1      L1Geometry
 	Costs   Costs
+
+	// PhaseNames resolves OpPhase markers: an OpPhase op's Addr indexes
+	// this table. Empty for traces recorded without phase markers.
+	PhaseNames []string
 }
 
 // Ops returns the total number of recorded operations.
@@ -301,6 +341,11 @@ func (tr *Trace) Validate() error {
 			case OpDMA:
 				addr.LevelOf(addr.Addr(op.Addr))
 				addr.LevelOf(addr.Addr(op.Addr2))
+			case OpPhase:
+				if op.Addr >= uint64(len(tr.PhaseNames)) {
+					return fmt.Errorf("trace: thread %d op %d names phase %d of %d",
+						tid, i, op.Addr, len(tr.PhaseNames))
+				}
 			}
 		}
 		if barriers == -1 {

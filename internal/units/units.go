@@ -6,7 +6,11 @@
 // can share one event queue without rounding drift.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Bytes is a byte count. Sizes in the model (B, ρB, M, Z) and in the machine
 // description (cache capacities, line sizes) are all expressed in Bytes.
@@ -65,6 +69,40 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%dps", int64(t))
 	}
+}
+
+// ParseTime parses a duration flag value like "10us", "1.5ms", "250ns", or
+// "40000ps" into a simulated Time. The unit suffix is mandatory — a bare
+// number is ambiguous in a codebase where time is picoseconds — and the
+// value must be non-negative and finite. "us" and "µs" both denote
+// microseconds.
+func ParseTime(s string) (Time, error) {
+	str := strings.TrimSpace(s)
+	var unit Time
+	switch {
+	case strings.HasSuffix(str, "ps"):
+		unit, str = Picosecond, strings.TrimSuffix(str, "ps")
+	case strings.HasSuffix(str, "ns"):
+		unit, str = Nanosecond, strings.TrimSuffix(str, "ns")
+	case strings.HasSuffix(str, "µs"):
+		unit, str = Microsecond, strings.TrimSuffix(str, "µs")
+	case strings.HasSuffix(str, "us"):
+		unit, str = Microsecond, strings.TrimSuffix(str, "us")
+	case strings.HasSuffix(str, "ms"):
+		unit, str = Millisecond, strings.TrimSuffix(str, "ms")
+	case strings.HasSuffix(str, "s"):
+		unit, str = Second, strings.TrimSuffix(str, "s")
+	default:
+		return 0, fmt.Errorf("units: duration %q needs a unit suffix (ps, ns, us, ms, s)", s)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(str), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad duration %q: %v", s, err)
+	}
+	if v < 0 || v != v || v > float64(1<<62)/float64(unit) {
+		return 0, fmt.Errorf("units: duration %q out of range", s)
+	}
+	return Time(v*float64(unit) + 0.5), nil
 }
 
 // Hz is a clock frequency in cycles per second.

@@ -180,3 +180,47 @@ func TestCeilDivPanicsOnZeroDivisor(t *testing.T) {
 	}()
 	CeilDiv(5, 0)
 }
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"1ps", Picosecond},
+		{"250ns", 250 * Nanosecond},
+		{"10us", 10 * Microsecond},
+		{"10µs", 10 * Microsecond},
+		{"1.5ms", 1500 * Microsecond},
+		{"2s", 2 * Second},
+		{" 3 ns ", 3 * Nanosecond}, // whitespace around value and suffix
+		{"0ps", 0},
+		{"1.4ps", Picosecond},        // rounds to nearest picosecond
+		{"0.0015ns", 2 * Picosecond}, // 1.5ps rounds up
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil {
+			t.Errorf("ParseTime(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTime(%q) = %d, want %d", c.in, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestParseTimeRejects(t *testing.T) {
+	for _, in := range []string{
+		"",       // empty
+		"10",     // bare number: the suffix is mandatory
+		"-5ns",   // negative durations are meaningless in sim time
+		"NaNs",   // NaN smuggled through the "s" suffix
+		"1e300s", // overflows the picosecond representation
+		"xyzms",  // garbage value
+		"5 sec",  // unknown suffix
+	} {
+		if got, err := ParseTime(in); err == nil {
+			t.Errorf("ParseTime(%q) = %d, want error", in, int64(got))
+		}
+	}
+}

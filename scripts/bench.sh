@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — replay-throughput benchmark harness for the telemetry budget.
+#
+# Runs the BenchmarkReplay* family (baseline replay, telemetry attached but
+# idle, telemetry actively sampling) with -benchmem, emits the parsed
+# numbers as BENCH_replay.json next to this script's repo root, and fails
+# when the idle-telemetry variant is more than MAX_OVERHEAD_PCT slower than
+# the baseline — the "disabled telemetry costs nothing" acceptance bound.
+#
+# Usage:  scripts/bench.sh [benchtime]     (default 10x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
+OUT="BENCH_replay.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench BenchmarkReplay -benchtime $BENCHTIME =="
+go test -run '^$' -bench '^BenchmarkReplay' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+# Parse "BenchmarkReplayX-N  iters  T ns/op  E events/sec  ...  A allocs/op"
+# lines into a JSON object keyed by benchmark name.
+awk -v out="$OUT" '
+/^BenchmarkReplay/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkReplay/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")      nsop[name] = $i
+		if ($(i+1) == "events/sec") eps[name] = $i
+		if ($(i+1) == "ns/event")   nsev[name] = $i
+		if ($(i+1) == "allocs/op")  allocs[name] = $i
+	}
+	order[n++] = name
+}
+END {
+	if (n == 0) { print "bench.sh: no BenchmarkReplay results" > "/dev/stderr"; exit 1 }
+	printf "{\n" > out
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "  \"%s\": {\"ns_per_op\": %s, \"events_per_sec\": %s, \"ns_per_event\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, nsop[name], eps[name], nsev[name], allocs[name], (i < n-1 ? "," : "") > out
+	}
+	printf "}\n" > out
+}' "$RAW"
+
+echo "== wrote $OUT =="
+cat "$OUT"
+
+# Enforce the idle-overhead budget: telemetry wired but not sampling must
+# stay within MAX_OVERHEAD_PCT of the bare replay.
+awk -v max="$MAX_OVERHEAD_PCT" '
+/^BenchmarkReplayBaseline/      { base = $3 }
+/^BenchmarkReplayTelemetryIdle/ { idle = $3 }
+END {
+	if (base == 0 || idle == 0) { print "bench.sh: missing baseline or idle result" > "/dev/stderr"; exit 1 }
+	pct = (idle - base) * 100 / base
+	printf "== idle-telemetry overhead: %.2f%% (budget %s%%) ==\n", pct, max
+	if (pct >= max) { print "bench.sh: idle telemetry overhead exceeds budget" > "/dev/stderr"; exit 1 }
+}' "$RAW"

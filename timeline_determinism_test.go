@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// timelineExports runs one telemetry-instrumented replay and returns the
+// Chrome trace-event JSON and CSV exports plus the replay result.
+func timelineExports(t *testing.T, alg harness.Algorithm) (machine.Result, []byte, []byte) {
+	t.Helper()
+	res, tel, err := harness.RunTimeline(alg, goldenWorkload(), 16, 10*units.Microsecond, fault.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome, csv bytes.Buffer
+	if err := tel.ExportChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return res, chrome.Bytes(), csv.Bytes()
+}
+
+// TestTimelineDeterministic re-runs the telemetry pipeline under different
+// GOMAXPROCS and requires byte-identical exports — the telemetry analogue
+// of the golden Table I digest. Sampling rides the event loop's FIFO
+// ordering, so any nondeterminism in probe registration, track ordering, or
+// phase snapshots shows up here as a byte diff.
+func TestTimelineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay workload; skipped in -short")
+	}
+	_, chrome0, csv0 := timelineExports(t, harness.AlgNMSort)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		_, chrome, csv := timelineExports(t, harness.AlgNMSort)
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(chrome, chrome0) {
+			t.Errorf("GOMAXPROCS=%d: chrome export differs (%d vs %d bytes)", procs, len(chrome), len(chrome0))
+		}
+		if !bytes.Equal(csv, csv0) {
+			t.Errorf("GOMAXPROCS=%d: CSV export differs (%d vs %d bytes)", procs, len(csv), len(csv0))
+		}
+	}
+	if err := telemetry.ValidateChromeJSON(chrome0); err != nil {
+		t.Errorf("chrome export does not validate: %v", err)
+	}
+}
+
+// TestTimelinePhases checks that both the NMsort pipeline and the merge
+// baseline attribute their full runtime to named phases, and that the
+// breakdown is consistent (phase durations cover the run, bytes move in
+// every compute-heavy phase).
+func TestTimelinePhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay workload; skipped in -short")
+	}
+	wantPhases := map[harness.Algorithm][]string{
+		harness.AlgNMSort:  {"pivots", "p1:sort-chunks", "p2:merge-batches"},
+		harness.AlgGNUSort: {"sort-runs", "merge-runs", "copy-back"},
+	}
+	for alg, names := range wantPhases {
+		res, _, _ := timelineExports(t, alg)
+		if len(res.Phases) == 0 {
+			t.Fatalf("%s: replay produced no phase breakdown", alg)
+		}
+		got := map[string]bool{}
+		var covered units.Time
+		for _, p := range res.Phases {
+			got[p.Name] = true
+			if p.End < p.Start {
+				t.Errorf("%s: phase %q ends before it starts", alg, p.Name)
+			}
+			covered += p.Duration()
+		}
+		for _, name := range names {
+			if !got[name] {
+				t.Errorf("%s: phase %q missing from breakdown %v", alg, name, keys(got))
+			}
+		}
+		if covered != res.SimTime {
+			t.Errorf("%s: phases cover %v of %v simulated time", alg, covered, res.SimTime)
+		}
+	}
+}
+
+// TestTimelinePhasesWithoutTelemetry confirms phase attribution is
+// machine-native: a plain replay (no Recorder attached) of a marker-bearing
+// trace still yields the per-phase breakdown the sweep reports print.
+func TestTimelinePhasesWithoutTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay workload; skipped in -short")
+	}
+	s, err := harness.CoreSweep(goldenWorkload(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if len(p.Result.Phases) == 0 {
+			t.Errorf("%s: no phase breakdown without telemetry", p.Label)
+		}
+	}
+	if !strings.Contains(s.String(), "phase breakdown") {
+		t.Error("sweep text report lacks the phase-breakdown section")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
