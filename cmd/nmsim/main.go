@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -48,10 +49,14 @@ type options struct {
 	faultSeed uint64
 	faultRate float64
 	maxEvents uint64
+	par       int
 
 	telemetryOut   string
 	telemetryCSV   string
 	telemetryEpoch string
+
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -68,6 +73,9 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (0 disables injection)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "far-memory bit error rate per read, in [0, 1] (0 disables injection)")
 	fs.Uint64Var(&o.maxEvents, "max-events", 0, "per-replay event budget (0 = generous default)")
+	fs.IntVar(&o.par, "par", 0, "replay worker count; output is byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&o.telemetryOut, "telemetry-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the NMsort replay to this file")
 	fs.StringVar(&o.telemetryCSV, "telemetry-csv", "", "write the sampled time series of the NMsort replay to this CSV file")
 	fs.StringVar(&o.telemetryEpoch, "telemetry-epoch", "10us", "telemetry sampling resolution in simulated time (e.g. 500ns, 10us)")
@@ -89,6 +97,8 @@ func (o options) validate() error {
 		return fmt.Errorf("-sp %d MiB must be positive", o.spMiB)
 	case o.faultRate < 0 || o.faultRate > 1:
 		return fmt.Errorf("-fault-rate %v must be in [0, 1]", o.faultRate)
+	case o.par < 0:
+		return fmt.Errorf("-par %d is negative (0 means GOMAXPROCS)", o.par)
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -130,6 +140,7 @@ func run(o options, w io.Writer) error {
 		SP:        units.Bytes(o.spMiB) * units.MiB,
 		Dist:      d,
 		MaxEvents: o.maxEvents,
+		Par:       o.par,
 	}
 	t, err := harness.Table1Faults(wl, o.dma, o.faultConfig())
 	if err != nil {
@@ -205,8 +216,18 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
-	if err := run(o, os.Stdout); err != nil {
+	profiles, err := prof.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "nmsim: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(o, os.Stdout)
+	// Stop even on failure: a profile of the partial run is still useful.
+	if err := profiles.Stop(); runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "nmsim: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -28,8 +28,12 @@ func TestValidate(t *testing.T) {
 		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate"},
 		{"bad format", []string{"-format", "xml"}, "format"},
 		{"bad distribution", []string{"-dist", "bimodal"}, "bimodal"},
+		{"negative par", []string{"-par", "-1"}, "-par"},
 		{"valid faults", []string{"-fault-rate", "1e-4", "-fault-seed", "9"}, ""},
 		{"valid zipf csv", []string{"-dist", "zipf", "-format", "csv"}, ""},
+		{"valid par", []string{"-par", "8"}, ""},
+		{"valid par auto", []string{"-par", "0"}, ""},
+		{"valid profiles", []string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

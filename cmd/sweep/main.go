@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/units"
 )
@@ -120,6 +121,9 @@ type options struct {
 	faultSeed  uint64
 	faultRates string
 	epoch      string
+	par        int
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -136,6 +140,9 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed for -exp=faults (0 disables injection)")
 	fs.StringVar(&o.faultRates, "fault-rates", "", "comma-separated bit error rates for -exp=faults (empty = default axis)")
 	fs.StringVar(&o.epoch, "epoch", "10us", "telemetry sampling epoch for -exp=timeline (e.g. 500ns, 10us)")
+	fs.IntVar(&o.par, "par", 0, "replay worker count; output is byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	def := fs.Usage
 	fs.Usage = func() {
 		def()
@@ -157,6 +164,8 @@ func (o options) validate() error {
 		return fmt.Errorf("-cores %d must be a positive multiple of 4", o.cores)
 	case o.spMiB <= 0:
 		return fmt.Errorf("-sp %d MiB must be positive", o.spMiB)
+	case o.par < 0:
+		return fmt.Errorf("-par %d is negative (0 means GOMAXPROCS)", o.par)
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -223,6 +232,7 @@ func run(o options, out io.Writer) error {
 		Seed:    o.seed,
 		Threads: o.cores,
 		SP:      units.Bytes(o.spMiB) * units.MiB,
+		Par:     o.par,
 	}
 	e, _ := findExperiment(o.exp)
 	s, err := e.run(o, w)
@@ -246,8 +256,18 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
-	if err := run(o, os.Stdout); err != nil {
+	profiles, err := prof.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(o, os.Stdout)
+	// Stop even on failure: a profile of the partial run is still useful.
+	if err := profiles.Stop(); runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -154,23 +154,23 @@ func TestFIFOTieBreakAcrossHeapChurn(t *testing.T) {
 
 func TestPeek(t *testing.T) {
 	s := New()
-	if _, ok := s.events.Peek(); ok {
-		t.Error("Peek on empty heap should report !ok")
+	if _, ok := s.events.peek(); ok {
+		t.Error("peek on empty heap should report !ok")
 	}
 	s.At(30, func() {})
 	s.At(10, func() {})
 	s.At(20, func() {})
-	head, ok := s.events.Peek()
+	head, ok := s.events.peek()
 	if !ok || head.at != 10 {
-		t.Errorf("Peek = (%v, %v), want earliest event at 10", head.at, ok)
+		t.Errorf("peek = (%v, %v), want earliest event at 10", head.at, ok)
 	}
 	if s.Pending() != 3 {
-		t.Errorf("Peek must not consume: Pending = %d, want 3", s.Pending())
+		t.Errorf("peek must not consume: Pending = %d, want 3", s.Pending())
 	}
-	// Peek tracks the minimum as the heap drains.
+	// peek tracks the minimum as the heap drains.
 	s.Step()
-	if head, ok := s.events.Peek(); !ok || head.at != 20 {
-		t.Errorf("after one Step, Peek at %v, want 20", head.at)
+	if head, ok := s.events.peek(); !ok || head.at != 20 {
+		t.Errorf("after one Step, peek at %v, want 20", head.at)
 	}
 }
 

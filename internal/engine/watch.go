@@ -112,9 +112,9 @@ func (e *BudgetError) Error() string {
 // to trust it.
 func (s *Sim) RunBudget(maxEvents uint64) (units.Time, error) {
 	var ran uint64
-	for len(s.events) > 0 {
+	for s.events.len() > 0 {
 		if ran >= maxEvents {
-			return s.now, &BudgetError{MaxEvents: maxEvents, LastEventAt: s.lastAt, Pending: len(s.events)}
+			return s.now, &BudgetError{MaxEvents: maxEvents, LastEventAt: s.lastAt, Pending: s.events.len()}
 		}
 		s.step()
 		ran++

@@ -1,0 +1,64 @@
+package harness
+
+// Sweep-throughput benchmarks backing BENCH_sweep.json: the same Table I
+// replay batch pushed through the worker pool at one worker and at
+// GOMAXPROCS. The trace is recorded once outside the timed region, so the
+// Par1/ParMax ratio isolates the pool's wall-clock win (it approaches the
+// core count on a multi-core host and 1.0 on a single-core one — the
+// rendered output is byte-identical either way, which TestRunReplays*
+// and the root-level par determinism tests enforce).
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// benchSweepJobs builds the Table I replay batch — the gnusort baseline at
+// 2X plus NMsort at 2X/4X/8X — from one pair of recorded traces.
+func benchSweepJobs(b *testing.B) []replayJob {
+	b.Helper()
+	w := Workload{N: 1 << 16, Seed: 2015, Threads: 32, SP: 512 * units.KiB}
+	gnu, err := Record(AlgGNUSort, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm, err := Record(AlgNMSort, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	channels := []int{8, 8, 16, 32}
+	traces := []*trace.Trace{gnu.Trace, nm.Trace, nm.Trace, nm.Trace}
+	jobs := make([]replayJob, len(channels))
+	for i, ch := range channels {
+		jobs[i] = replayJob{cfg: NodeFor(w.Threads, ch, w.SP), tr: traces[i]}
+	}
+	return jobs
+}
+
+// benchSweep replays the batch once per iteration on a pool of the given
+// size and reports per-job wall time.
+func benchSweep(b *testing.B, workers int) {
+	jobs := benchSweepJobs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := runReplays(workers, jobs)
+		for _, o := range outs {
+			if o.err != nil {
+				b.Fatal(o.err)
+			}
+		}
+	}
+	b.StopTimer()
+	perIter := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(perIter*1e9/float64(len(jobs)), "ns/job")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+func BenchmarkSweepTable1Par1(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweepTable1ParMax(b *testing.B) {
+	benchSweep(b, replayPar(0, 4))
+}

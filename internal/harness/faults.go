@@ -1,11 +1,9 @@
 package harness
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/fault"
-	"repro/internal/machine"
 )
 
 // FaultRates is the default fault-sweep axis: per-read transient error rates
@@ -34,37 +32,42 @@ func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (
 		rates = FaultRates
 	}
 
+	// Record each algorithm once, then pool every (algorithm, rate) replay.
+	// The rate-0 anchor leads each algorithm's job run; slowdowns are
+	// computed after the pool drains, from the anchor's slot.
+	axis := append([]float64{0}, rates...)
+	var jobs []replayJob
+	var points []SweepPoint
 	for _, alg := range []Algorithm{AlgGNUSort, AlgNMSort} {
 		rec, err := Record(alg, w)
 		if err != nil {
 			return s, err
 		}
-		var base float64
-		for _, rate := range append([]float64{0}, rates...) {
+		for _, rate := range axis {
 			cfg := NodeFor(w.Threads, nearChannels, w.SP)
 			cfg.MaxEvents = w.MaxEvents
 			if rate > 0 {
 				cfg.Fault = fault.Profile(seed, rate)
 			}
-			res, err := machine.Run(cfg, rec.Trace)
-			var mf *fault.MemFaultError
-			memFault := errors.As(err, &mf)
-			if err != nil && !memFault {
-				return s, err
-			}
-			if rate == 0 {
-				base = res.SimTime.Seconds()
-			}
-			s.Points = append(s.Points, SweepPoint{
-				Label:    string(alg),
-				Cores:    w.Threads,
-				Rho:      float64(nearChannels) / 4,
-				Rate:     rate,
-				Result:   res,
-				Slowdown: res.SimTime.Seconds() / base,
-				MemFault: memFault,
+			jobs = append(jobs, replayJob{cfg: cfg, tr: rec.Trace})
+			points = append(points, SweepPoint{
+				Label: string(alg),
+				Cores: w.Threads,
+				Rho:   float64(nearChannels) / 4,
+				Rate:  rate,
 			})
 		}
+	}
+	s, err := s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	if err != nil {
+		return s, err
+	}
+	var base float64
+	for i := range s.Points {
+		if s.Points[i].Rate == 0 {
+			base = s.Points[i].Result.SimTime.Seconds()
+		}
+		s.Points[i].Slowdown = s.Points[i].Result.SimTime.Seconds() / base
 	}
 	return s, nil
 }

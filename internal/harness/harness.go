@@ -60,6 +60,12 @@ type Workload struct {
 	// MaxEvents bounds each replay's event count (the engine's
 	// runaway-schedule guard); 0 means machine.DefaultEventBudget.
 	MaxEvents uint64
+
+	// Par is the replay worker count for sweeps: independent sweep points
+	// replay concurrently on up to Par workers, each writing its result into
+	// its pre-assigned slot, so output stays byte-identical at any value.
+	// 0 means GOMAXPROCS; 1 forces sequential replay.
+	Par int
 }
 
 // DefaultWorkload returns the scaled Table I workload: the paper sorts 10M
@@ -85,7 +91,16 @@ func Record(alg Algorithm, w Workload) (RecordResult, error) {
 	if w.N < 0 || w.Threads <= 0 || w.SP <= 0 {
 		return RecordResult{}, fmt.Errorf("harness: bad workload %+v", w)
 	}
-	rec := trace.NewRecorder(w.Threads, ScaledL1, trace.DefaultCosts())
+	// Pre-size each per-thread op buffer: a sort touches every key a small
+	// constant number of times post-L1-filter, so ~3 ops per owned key plus
+	// slack for phase markers and barriers absorbs nearly all growth
+	// reallocations during recording without overshooting small workloads.
+	rec := trace.NewRecorderCfg(trace.RecorderConfig{
+		Threads:  w.Threads,
+		L1:       ScaledL1,
+		Costs:    trace.DefaultCosts(),
+		SizeHint: 3*w.N/w.Threads + 64,
+	})
 	env := core.NewEnv(w.Threads, w.SP, rec, w.Seed)
 	a := env.AllocFar(w.N)
 	dist := w.Dist
@@ -173,17 +188,6 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	// The baseline never touches near memory; replay it on the 2X node
-	// (its result is identical on any near configuration).
-	baseCfg := NodeFor(w.Threads, 8, w.SP)
-	baseCfg.Fault = fc
-	baseCfg.MaxEvents = w.MaxEvents
-	base, baseFaulted, err := runTolerant(baseCfg, gnu.Trace)
-	if err != nil {
-		return t, err
-	}
-	t.Rows = append(t.Rows, Row{Name: mark("GNU Sort", baseFaulted), Result: base, RelTime: 1})
-
 	alg := AlgNMSort
 	if dma {
 		alg = AlgNMSortDM
@@ -192,19 +196,35 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	for _, ch := range []int{8, 16, 32} {
+
+	// Replays pool in row order: the baseline on the 2X node (it never
+	// touches near memory, so its result is identical on any near
+	// configuration), then NMsort at 2X/4X/8X — all sharing the two
+	// recorded traces read-only.
+	channels := []int{8, 8, 16, 32}
+	traces := []*trace.Trace{gnu.Trace, nm.Trace, nm.Trace, nm.Trace}
+	jobs := make([]replayJob, len(channels))
+	for i, ch := range channels {
 		cfg := NodeFor(w.Threads, ch, w.SP)
 		cfg.Fault = fc
 		cfg.MaxEvents = w.MaxEvents
-		res, faulted, err := runTolerant(cfg, nm.Trace)
-		if err != nil {
-			return t, err
+		jobs[i] = replayJob{cfg: cfg, tr: traces[i]}
+	}
+	outs := runReplays(replayPar(w.Par, len(jobs)), jobs)
+	for _, o := range outs {
+		if o.err != nil {
+			return t, o.err
 		}
+	}
+	base := outs[0].res
+	t.Rows = append(t.Rows, Row{Name: mark("GNU Sort", outs[0].memFault), Result: base, RelTime: 1})
+	for i, ch := range channels[1:] {
+		o := outs[i+1]
 		t.Rows = append(t.Rows, Row{
-			Name:    mark(fmt.Sprintf("NMsort (%dX)", ch/4), faulted),
-			Rho:     cfg.BandwidthExpansion(),
-			Result:  res,
-			RelTime: res.SimTime.Seconds() / base.SimTime.Seconds(),
+			Name:    mark(fmt.Sprintf("NMsort (%dX)", ch/4), o.memFault),
+			Rho:     jobs[i+1].cfg.BandwidthExpansion(),
+			Result:  o.res,
+			RelTime: o.res.SimTime.Seconds() / base.SimTime.Seconds(),
 		})
 	}
 	return t, nil

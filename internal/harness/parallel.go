@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// Sweep points are independent replays of immutable recorded traces: each
+// point owns a private engine, machine, and fault injector, and the fault
+// injector is counter-keyed (order-independent by construction), so points
+// may run concurrently in any order. runReplays is the deterministic worker
+// pool every sweep goes through — each job writes only its pre-assigned
+// output slot, so a sweep's rendered report is byte-identical at any worker
+// count, including 1.
+
+// replayJob is one independent sweep point: a machine configuration plus
+// the recorded trace to replay on it. The trace is shared read-only across
+// jobs — replay never mutates a stream.
+type replayJob struct {
+	cfg machine.Config
+	tr  *trace.Trace
+}
+
+// replayOut is one job's outcome, written into the job's slot.
+type replayOut struct {
+	res      machine.Result
+	memFault bool // the replay completed but returned uncorrected data
+	err      error
+}
+
+// replayPar resolves a Workload.Par knob against a job count: 0 means
+// GOMAXPROCS, and a pool never has more workers than jobs.
+func replayPar(p, n int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// runReplays replays every job on a pool of `workers` goroutines (via
+// par.Run, the module's one sanctioned fork-join). Workers pull the next
+// unclaimed job index from a shared cursor — dynamic scheduling, because
+// sweep points differ wildly in event count — and write results by index,
+// never by completion order.
+func runReplays(workers int, jobs []replayJob) []replayOut {
+	out := make([]replayOut, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i] = runJob(j)
+		}
+		return out
+	}
+	var next atomic.Int64
+	par.Run(workers, nil, func(int, *trace.TP) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			out[i] = runJob(jobs[i])
+		}
+	})
+	return out
+}
+
+// runJob replays one job with the harness's usual MemFault tolerance.
+func runJob(j replayJob) replayOut {
+	res, memFault, err := runTolerant(j.cfg, j.tr)
+	return replayOut{res: res, memFault: memFault, err: err}
+}

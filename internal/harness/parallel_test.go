@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestReplayPar pins the knob-resolution rules: 0 means GOMAXPROCS, the
+// pool never exceeds the job count, and the floor is one worker.
+func TestReplayPar(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	auto := procs
+	if auto > 100 {
+		auto = 100
+	}
+	cases := []struct {
+		p, n, want int
+	}{
+		{0, 100, auto},
+		{0, 1, 1},
+		{1, 100, 1},
+		{8, 4, 4},
+		{3, 100, 3},
+		{-2, 100, auto},
+		{5, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := replayPar(tc.p, tc.n); got != tc.want {
+			t.Errorf("replayPar(%d, %d) = %d, want %d", tc.p, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestRunReplaysMatchesSequential replays one batch sequentially and on an
+// oversubscribed pool: every output slot must hold the identical result —
+// the slot-indexed write discipline the sweeps' byte-identity rests on.
+func TestRunReplaysMatchesSequential(t *testing.T) {
+	w := Workload{N: 1 << 12, Seed: 7, Threads: 8, SP: 64 * units.KiB}
+	rec, err := Record(AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []replayJob
+	for _, ch := range []int{8, 16, 32, 8, 16, 32} {
+		jobs = append(jobs, replayJob{cfg: NodeFor(w.Threads, ch, w.SP), tr: rec.Trace})
+	}
+	seq := runReplays(1, jobs)
+	for _, workers := range []int{2, 8} {
+		got := runReplays(workers, jobs)
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(got), len(seq))
+		}
+		for i := range seq {
+			if seq[i].err != nil || got[i].err != nil {
+				t.Fatalf("workers=%d job %d: errors %v / %v", workers, i, seq[i].err, got[i].err)
+			}
+			if !reflect.DeepEqual(got[i], seq[i]) {
+				t.Errorf("workers=%d: job %d result differs from sequential run", workers, i)
+			}
+		}
+	}
+	if out := runReplays(4, nil); len(out) != 0 {
+		t.Errorf("runReplays with no jobs returned %d outputs", len(out))
+	}
+}

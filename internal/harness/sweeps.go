@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -31,6 +32,12 @@ type Sweep struct {
 	Title     string
 	FaultAxis bool // points vary a fault rate: add rate/slowdown/degraded/retrans columns
 	Points    []SweepPoint
+
+	// Par records the replay worker count the sweep ran with (after
+	// resolving Workload.Par against the job count). Informational only —
+	// it is deliberately excluded from String/Report so rendered output
+	// stays byte-identical at every worker count.
+	Par int
 }
 
 // Report converts the sweep into a renderable table (text/CSV/markdown).
@@ -167,24 +174,38 @@ func BandwidthSweep(w Workload) (Sweep, error) {
 	if err != nil {
 		return s, err
 	}
+	var jobs []replayJob
+	var points []SweepPoint // point metadata, parallel to jobs
 	for _, ch := range []int{8, 16, 32} {
-		cfg := NodeFor(w.Threads, ch, w.SP)
-		gres, err := machine.Run(cfg, gnu.Trace)
-		if err != nil {
-			return s, err
+		for _, a := range []struct {
+			name string
+			tr   *trace.Trace
+		}{{"gnusort", gnu.Trace}, {"nmsort", nm.Trace}} {
+			cfg := NodeFor(w.Threads, ch, w.SP)
+			cfg.MaxEvents = w.MaxEvents
+			jobs = append(jobs, replayJob{cfg: cfg, tr: a.tr})
+			points = append(points, SweepPoint{
+				Label: fmt.Sprintf("%s@%dX", a.name, ch/4), Cores: w.Threads,
+				Rho: cfg.BandwidthExpansion(),
+			})
 		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: fmt.Sprintf("gnusort@%dX", ch/4), Cores: w.Threads,
-			Rho: cfg.BandwidthExpansion(), Result: gres,
-		})
-		nres, err := machine.Run(NodeFor(w.Threads, ch, w.SP), nm.Trace)
-		if err != nil {
-			return s, err
+	}
+	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+}
+
+// collect runs the jobs on the pool and merges each outcome into its
+// pre-built point, in job order. The first fatal error aborts the sweep.
+func (s Sweep) collect(workers int, jobs []replayJob, points []SweepPoint) (Sweep, error) {
+	s.Par = workers
+	outs := runReplays(workers, jobs)
+	for i, o := range outs {
+		if o.err != nil {
+			return s, o.err
 		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: fmt.Sprintf("nmsort@%dX", ch/4), Cores: w.Threads,
-			Rho: cfg.BandwidthExpansion(), Result: nres,
-		})
+		p := points[i]
+		p.Result = o.res
+		p.MemFault = o.memFault
+		s.Points = append(s.Points, p)
 	}
 	return s, nil
 }
@@ -195,6 +216,8 @@ func BandwidthSweep(w Workload) (Sweep, error) {
 // memory-bound regime NMsort wins; below it the scratchpad buys little.
 func CoreSweep(w Workload, coreCounts []int) (Sweep, error) {
 	s := Sweep{Title: fmt.Sprintf("Core-count sweep, N=%d keys, 8X near bandwidth", w.N)}
+	var jobs []replayJob
+	var points []SweepPoint
 	for _, cores := range coreCounts {
 		cw := w
 		cw.Threads = cores
@@ -206,20 +229,17 @@ func CoreSweep(w Workload, coreCounts []int) (Sweep, error) {
 		if err != nil {
 			return s, err
 		}
-		gres, err := machine.Run(NodeFor(cores, 32, w.SP), gnu.Trace)
-		if err != nil {
-			return s, err
+		for _, a := range []struct {
+			name string
+			tr   *trace.Trace
+		}{{"gnusort", gnu.Trace}, {"nmsort", nm.Trace}} {
+			cfg := NodeFor(cores, 32, w.SP)
+			cfg.MaxEvents = w.MaxEvents
+			jobs = append(jobs, replayJob{cfg: cfg, tr: a.tr})
+			points = append(points, SweepPoint{Label: a.name, Cores: cores, Rho: 8})
 		}
-		nres, err := machine.Run(NodeFor(cores, 32, w.SP), nm.Trace)
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points,
-			SweepPoint{Label: "gnusort", Cores: cores, Rho: 8, Result: gres},
-			SweepPoint{Label: "nmsort", Cores: cores, Rho: 8, Result: nres},
-		)
 	}
-	return s, nil
+	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
 }
 
 // AblationSmallAppends compares NMsort against the scattered
@@ -235,38 +255,32 @@ func AblationSmallAppends(w Workload, nearChannels int) (Sweep, error) {
 		}
 	}
 	s := Sweep{Title: fmt.Sprintf("Small-appends ablation, N=%d keys, %d cores, %dX, %d buckets", w.N, w.Threads, nearChannels/4, w.Buckets)}
-	for _, alg := range []Algorithm{AlgNMSort, AlgNMScatter} {
-		r, err := Record(alg, w)
-		if err != nil {
-			return s, err
-		}
-		res, err := machine.Run(NodeFor(w.Threads, nearChannels, w.SP), r.Trace)
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4, Result: res,
-		})
-	}
-	return s, nil
+	return s.ablate(w, nearChannels, AlgNMSort, AlgNMScatter)
 }
 
 // AblationDMA compares NMsort with and without the §VII DMA engines at the
 // given bandwidth expansion (experiment A2).
 func AblationDMA(w Workload, nearChannels int) (Sweep, error) {
 	s := Sweep{Title: fmt.Sprintf("DMA ablation, N=%d keys, %d cores, %dX", w.N, w.Threads, nearChannels/4)}
-	for _, alg := range []Algorithm{AlgNMSort, AlgNMSortDM} {
+	return s.ablate(w, nearChannels, AlgNMSort, AlgNMSortDM)
+}
+
+// ablate records each algorithm and replays them as one pooled batch on
+// identical nodes — the shared body of the two ablation experiments.
+func (s Sweep) ablate(w Workload, nearChannels int, algs ...Algorithm) (Sweep, error) {
+	var jobs []replayJob
+	var points []SweepPoint
+	for _, alg := range algs {
 		r, err := Record(alg, w)
 		if err != nil {
 			return s, err
 		}
-		res, err := machine.Run(NodeFor(w.Threads, nearChannels, w.SP), r.Trace)
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4, Result: res,
+		cfg := NodeFor(w.Threads, nearChannels, w.SP)
+		cfg.MaxEvents = w.MaxEvents
+		jobs = append(jobs, replayJob{cfg: cfg, tr: r.Trace})
+		points = append(points, SweepPoint{
+			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4,
 		})
 	}
-	return s, nil
+	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
 }

@@ -74,6 +74,15 @@ type simpureDecl struct {
 	decl *ast.FuncDecl
 }
 
+// fieldStore is one assignment to a struct field: the stored expression and
+// the unit whose type info resolves it. A nil rhs marks a store whose value
+// cannot be matched to the field (a multi-value assignment from a call).
+type fieldStore struct {
+	u   *Unit
+	rhs ast.Expr
+	pos token.Pos
+}
+
 type simpureChecker struct {
 	u      *Unit
 	report ReportFunc
@@ -83,6 +92,10 @@ type simpureChecker struct {
 	visited map[string]bool        // decls entered (recursion guard)
 	cache   map[string][]spFinding // memoized per-decl findings
 	seen    map[string]bool        // emitted diagnostics (dedup across call sites)
+
+	fields       map[string][]fieldStore // field decl position key → its stores (lazy)
+	fieldVisited map[string]bool         // fields entered (recursion guard)
+	fieldCache   map[string][]spFinding  // memoized per-field findings
 }
 
 func runSimPure(u *Unit, report ReportFunc) {
@@ -92,11 +105,13 @@ func runSimPure(u *Unit, report ReportFunc) {
 		return
 	}
 	c := &simpureChecker{
-		u:       u,
-		report:  report,
-		visited: map[string]bool{},
-		cache:   map[string][]spFinding{},
-		seen:    map[string]bool{},
+		u:            u,
+		report:       report,
+		visited:      map[string]bool{},
+		cache:        map[string][]spFinding{},
+		seen:         map[string]bool{},
+		fieldVisited: map[string]bool{},
+		fieldCache:   map[string][]spFinding{},
 	}
 	c.buildIndex()
 	inspect(u, true, func(f *ast.File, n ast.Node) bool {
@@ -186,9 +201,136 @@ func (c *simpureChecker) checkNamedCallback(arg ast.Expr, id *ast.Ident) {
 	switch obj := c.u.Info.Uses[id].(type) {
 	case *types.Func:
 		c.emit(arg, c.checkFunc(obj))
+	case *types.Var:
+		if obj.IsField() {
+			// A pre-bound event field (the pooled-callback idiom): verified
+			// through every assignment to the field instead of at this site.
+			c.emit(arg, c.checkEventField(obj))
+			return
+		}
+		c.emitOne(arg.Pos(),
+			"scheduled callback %s is a function value that cannot be statically verified; pass a function literal or method value", id.Name)
 	default:
 		c.emitOne(arg.Pos(),
 			"scheduled callback %s is a function value that cannot be statically verified; pass a function literal or method value", id.Name)
+	}
+}
+
+// checkEventField verifies a callback scheduled through a struct field (a
+// pre-bound event, the allocation-free idiom internal/machine uses on its
+// hot path): the field is pure iff every assignment to it, anywhere in the
+// loaded set, stores a verifiable callback — a function literal, a named
+// function, or a method value. Field object identity is bridged across
+// units by declaration position, like the function index.
+func (c *simpureChecker) checkEventField(v *types.Var) []spFinding {
+	c.buildFieldIndex()
+	key := c.posKey(v.Pos())
+	if c.fieldVisited[key] {
+		return c.fieldCache[key]
+	}
+	c.fieldVisited[key] = true
+	stores := c.fields[key]
+	if len(stores) == 0 {
+		return []spFinding{{v.Pos(), fmt.Sprintf(
+			"event field %s is scheduled but never assigned a callback the analyzer can see; bind it to a function literal or method value", v.Name())}}
+	}
+	var fs []spFinding
+	for _, st := range stores {
+		fs = append(fs, c.checkStore(st, key)...)
+	}
+	c.fieldCache[key] = fs
+	return fs
+}
+
+// checkStore verifies one assignment to a scheduled event field.
+func (c *simpureChecker) checkStore(st fieldStore, selfKey string) []spFinding {
+	if st.rhs == nil {
+		return []spFinding{{st.pos,
+			"event field is bound through a multi-value assignment that cannot be statically verified; bind it from a single assignment"}}
+	}
+	switch e := unparenExpr(st.rhs).(type) {
+	case *ast.FuncLit:
+		return c.checkBody(st.u, e, e.Body)
+	case *ast.Ident:
+		return c.checkStoredNamed(st, e, selfKey)
+	case *ast.SelectorExpr:
+		return c.checkStoredNamed(st, e.Sel, selfKey)
+	default:
+		return []spFinding{{st.rhs.Pos(),
+			"event field is bound to a computed expression that cannot be statically verified; bind a function literal or method value"}}
+	}
+}
+
+func (c *simpureChecker) checkStoredNamed(st fieldStore, id *ast.Ident, selfKey string) []spFinding {
+	switch obj := st.u.Info.Uses[id].(type) {
+	case *types.Func:
+		return c.checkFunc(obj)
+	case *types.Var:
+		if obj.IsField() {
+			if c.posKey(obj.Pos()) == selfKey {
+				return nil // copying the field onto itself
+			}
+			return c.checkEventField(obj)
+		}
+	}
+	return []spFinding{{st.rhs.Pos(), fmt.Sprintf(
+		"event field is bound to function value %s, which cannot be statically verified; bind a function literal or method value", id.Name)}}
+}
+
+// buildFieldIndex maps every struct-field assignment in the loaded set —
+// plain/multi assignments and composite-literal keyed elements — by the
+// declaration position of the field written. Built lazily: only units that
+// actually schedule an event field pay for the walk.
+func (c *simpureChecker) buildFieldIndex() {
+	if c.fields != nil {
+		return
+	}
+	c.fields = map[string][]fieldStore{}
+	units := []*Unit{c.u}
+	if c.u.Mod != nil {
+		units = c.u.Mod.Units()
+	}
+	record := func(uu *Unit, id *ast.Ident, st fieldStore) {
+		v, ok := uu.Info.Uses[id].(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		key := c.posKey(v.Pos())
+		c.fields[key] = append(c.fields[key], st)
+	}
+	for _, uu := range units {
+		for _, f := range uu.Files {
+			uu := uu
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						sel, ok := unparenExpr(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						st := fieldStore{u: uu, pos: lhs.Pos()}
+						if len(n.Rhs) == len(n.Lhs) {
+							st.rhs = n.Rhs[i]
+						}
+						record(uu, sel.Sel, st)
+					}
+				case *ast.CompositeLit:
+					for _, el := range n.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						id, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						record(uu, id, fieldStore{u: uu, rhs: kv.Value, pos: kv.Pos()})
+					}
+				}
+				return true
+			})
+		}
 	}
 }
 

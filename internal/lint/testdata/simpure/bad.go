@@ -63,6 +63,49 @@ func badFieldCall(sim *engine.Sim, h *hooks) {
 	})
 }
 
+// badPool: a scheduled event field is verified through every assignment to
+// it; one store of an opaque function value poisons the field.
+type badPool struct {
+	sim *engine.Sim
+	ev  engine.Event
+}
+
+func (b *badPool) bind(f func()) {
+	b.ev = f // want
+}
+
+func (b *badPool) schedule() {
+	b.sim.At(0, b.ev)
+}
+
+// unbound: scheduling a field no assignment ever binds is flagged at the
+// field's declaration.
+type unbound struct {
+	sim *engine.Sim
+	ev  engine.Event // want
+}
+
+func (u *unbound) schedule() {
+	u.sim.At(0, u.ev)
+}
+
+// badPoolLit: an impure callback stored into an event field is reported
+// where the impurity lives, exactly like a directly scheduled literal.
+type badPoolLit struct {
+	sim *engine.Sim
+	ev  engine.Event
+}
+
+func (b *badPoolLit) bind() {
+	b.ev = func() {
+		hits++ // want
+	}
+}
+
+func (b *badPoolLit) schedule() {
+	b.sim.At(0, b.ev)
+}
+
 // badTransitive: the walk follows method values through module-internal
 // helpers; the violation is reported where it lives, not at the call site.
 func (c *comp) leak() {

@@ -49,6 +49,32 @@ func sortedDrain(sim *engine.Sim, g *node) {
 	})
 }
 
+// pooled shows the pre-bound event-field idiom from internal/machine's hot
+// path: a field bound once to a method value (or a named function in a
+// composite literal) and scheduled repeatedly without allocating. The
+// analyzer verifies the field through its assignments.
+type pooled struct {
+	sim *engine.Sim
+	n   int
+	ev  engine.Event
+	alt engine.Event
+}
+
+func (p *pooled) step() { p.n++ }
+
+func pureTick() {}
+
+func newPooled(sim *engine.Sim) *pooled {
+	p := &pooled{sim: sim, alt: pureTick}
+	p.ev = p.step
+	return p
+}
+
+func (p *pooled) schedule() {
+	p.sim.At(0, p.ev)
+	p.sim.After(units.Nanosecond, p.alt)
+}
+
 // suppressed: a real violation (bare captured counter) silenced with an
 // ignore directive and a reason — the escape hatch the analyzer honors.
 func suppressed(sim *engine.Sim) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/engine"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -20,6 +21,15 @@ type core struct {
 	stream []trace.Op
 	pc     int
 	period units.Time
+
+	// Pre-bound method-value events, created once per replay. Evaluating a
+	// method value (c.run) allocates a bound-method closure every time, so
+	// the hot scheduling sites below schedule these fields instead — the
+	// three dominant per-op schedules (gap resume, fill completion, DMA
+	// completion) then allocate nothing.
+	runEv      engine.Event // c.run
+	fillDoneEv engine.Event // c.fillDone
+	dmaDoneEv  engine.Event // c.dmaDone
 
 	gapDone   bool // the current op's leading gap has been consumed
 	inflight  int  // outstanding line fills
@@ -39,7 +49,7 @@ func (c *core) run() {
 		// Consume the op's leading compute gap exactly once.
 		if !c.gapDone && op.Gap > 0 {
 			c.gapDone = true
-			c.m.sim.After(units.Time(op.Gap)*c.period, c.run)
+			c.m.sim.After(units.Time(op.Gap)*c.period, c.runEv)
 			return
 		}
 
@@ -62,7 +72,7 @@ func (c *core) run() {
 			}
 			done := c.m.fill(c.group, addr.Addr(op.Addr))
 			c.inflight++
-			c.m.sim.At(done, c.fillDone)
+			c.m.sim.At(done, c.fillDoneEv)
 			c.next()
 
 		case trace.OpAtomic:
@@ -72,7 +82,7 @@ func (c *core) run() {
 			done := c.m.atomic(c.group, addr.Addr(op.Addr))
 			c.next()
 			if done > c.m.sim.Now() {
-				c.m.sim.At(done, c.run)
+				c.m.sim.At(done, c.runEv)
 				return
 			}
 
@@ -155,6 +165,16 @@ func (c *core) fillDone() {
 	}
 }
 
+// dmaDone retires one background copy issued by this core and wakes it if
+// it was parked on an OpDMAWait.
+func (c *core) dmaDone() {
+	c.dmaOut--
+	if c.dmaWait && c.dmaOut == 0 {
+		c.dmaWait = false
+		c.run()
+	}
+}
+
 func (c *core) next() {
 	c.pc++
 	c.gapDone = false
@@ -177,8 +197,6 @@ func (b *barrierCtl) arrive(c *core) {
 	}
 	released := b.waiting
 	arrivals := b.arrivals
-	b.waiting = nil
-	b.arrivals = nil
 	now := c.m.sim.Now()
 	b.releases = append(b.releases, now)
 	if tel := c.m.tel; tel != nil {
@@ -189,9 +207,14 @@ func (b *barrierCtl) arrive(c *core) {
 		}
 	}
 	for _, w := range released {
-		w := w
-		c.m.sim.At(now, w.run)
+		c.m.sim.At(now, w.runEv)
 	}
+	// Recycle the buffers for the next cycle: every release is fully walked
+	// above (only the scheduled runEv values outlive this call), so the next
+	// barrier's arrivals can safely reuse the backing arrays instead of
+	// reallocating them once per cycle.
+	b.waiting = released[:0]
+	b.arrivals = arrivals[:0]
 }
 
 // dmaEngine streams bulk copies between the memory devices in the
@@ -229,11 +252,5 @@ func (d *dmaEngine) enqueue(c *core, src, dst addr.Addr, n units.Bytes) {
 	if tel := d.m.tel; tel != nil {
 		tel.Span("dma", "copy", now, done)
 	}
-	d.m.sim.At(done, func() {
-		c.dmaOut--
-		if c.dmaWait && c.dmaOut == 0 {
-			c.dmaWait = false
-			c.run()
-		}
-	})
+	d.m.sim.At(done, c.dmaDoneEv)
 }

@@ -196,6 +196,12 @@ type Machine struct {
 	coreTracks []string            // per-core span track names (telemetry only)
 	phaseNames []string            // the replayed trace's phase-name table
 	phaseSnaps []phaseSnap         // device-counter snapshot per OpPhase marker
+
+	// postFree is the LIFO free list of posted-write carriers. Replay is
+	// single-threaded inside one engine, so a plain slice is deterministic;
+	// pooling makes the posted-write schedule site allocation-free once the
+	// list warms up.
+	postFree []*postOp
 }
 
 // New builds a machine from cfg.
@@ -283,11 +289,23 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 			m.coreTracks[i] = fmt.Sprintf("core%d", i)
 		}
 	}
+	// Pre-size the event queue for this trace's steady state: per core one
+	// resume event, MaxOutstanding fill completions, and headroom for
+	// posted-write and DMA drains. Small traces never reach the bound, so
+	// cap it by the total op count; either way it is only a hint.
+	pending := len(tr.Streams)*(m.cfg.MaxOutstanding+4) + 64
+	if total := tr.Ops(); total < pending {
+		pending = total + 16
+	}
+	m.sim.Reserve(pending)
 	period := m.cfg.CoreHz.Period()
 	for i, s := range tr.Streams {
 		c := &core{m: m, id: i, group: i / m.cfg.CoresPerGroup, stream: s, period: period}
+		c.runEv = c.run
+		c.fillDoneEv = c.fillDone
+		c.dmaDoneEv = c.dmaDone
 		m.cores[i] = c
-		m.sim.At(0, c.run)
+		m.sim.At(0, c.runEv)
 	}
 	m.watch()
 	budget := m.cfg.MaxEvents
@@ -403,17 +421,46 @@ func (m *Machine) writeback(g int, a addr.Addr) units.Time {
 	return t
 }
 
+// postOp carries one posted write toward its device. Each carrier's ev
+// field is bound to its run method exactly once, at allocation; recycling
+// through Machine.postFree then makes posting a write allocation-free. A
+// carrier has at most one pending schedule — it returns itself to the free
+// list only from inside run, after its fields have been consumed.
+type postOp struct {
+	m  *Machine
+	g  int
+	a  addr.Addr
+	ev engine.Event // bound to run once; reused across recycles
+}
+
+// run drains the posted write: route it over the NoC to its device, then
+// keep the event loop alive until the write finishes with a no-op
+// completion event (see postToMemory).
+func (p *postOp) run() {
+	m := p.m
+	g, a := p.g, p.a
+	m.postFree = append(m.postFree, p)
+	arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
+	done := m.deviceAccess(arr, a, true)
+	m.sim.At(done, func() {})
+}
+
 // postToMemory sends a dirty line toward its device without anything
 // waiting for it (posted write). A no-op completion event marks the time
 // the write finishes draining: without it Run() can return while the NoC
 // and device buses are still busy, making SimTime undershoot the real end
 // of traffic and pushing Utilization past 1 on writeback-heavy replays.
 func (m *Machine) postToMemory(at units.Time, g int, a addr.Addr) {
-	m.sim.At(at, func() {
-		arr := m.nw.Send(m.sim.Now(), g, m.cfg.LineSize)
-		done := m.deviceAccess(arr, a, true)
-		m.sim.At(done, func() {})
-	})
+	var p *postOp
+	if n := len(m.postFree); n > 0 {
+		p = m.postFree[n-1]
+		m.postFree = m.postFree[:n-1]
+	} else {
+		p = &postOp{m: m}
+		p.ev = p.run
+	}
+	p.g, p.a = g, a
+	m.sim.At(at, p.ev)
 }
 
 // atomic performs a serialized uncached read-modify-write and returns the

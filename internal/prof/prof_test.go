@@ -1,0 +1,62 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDisabled confirms two empty paths yield an inert Profiles whose Stop
+// does nothing.
+func TestDisabled(t *testing.T) {
+	p, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+// TestWritesProfiles runs a full Start/Stop cycle and checks both files
+// land non-empty. The heap profile is written entirely at Stop; the CPU
+// profile at least carries the pprof header.
+func TestWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// A little allocation so the heap profile has something to say.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1<<12)
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// Stop is single-shot but harmless to repeat.
+	if err := p.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+// TestStartBadPath confirms an uncreatable CPU path fails up front rather
+// than at Stop.
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start with uncreatable path = nil, want error")
+	}
+}

@@ -239,18 +239,43 @@ type Recorder struct {
 	phaseIDs   map[string]int // lookup only (never ranged): name -> index
 }
 
+// RecorderConfig parameterizes NewRecorderCfg. Threads, L1, and Costs are
+// required; SizeHint is optional.
+type RecorderConfig struct {
+	Threads int
+	L1      L1Geometry
+	Costs   Costs
+
+	// SizeHint, when positive, is the expected number of ops per thread
+	// stream: each probe's op buffer is pre-sized to it, so recording a
+	// workload of known scale appends without growth reallocations. Purely
+	// a capacity hint — streams grow past it on demand and shorter streams
+	// waste only the slack.
+	SizeHint int
+}
+
 // NewRecorder creates probes for p threads.
 func NewRecorder(p int, l1 L1Geometry, costs Costs) *Recorder {
-	if p <= 0 {
+	return NewRecorderCfg(RecorderConfig{Threads: p, L1: l1, Costs: costs})
+}
+
+// NewRecorderCfg creates probes for cfg.Threads threads, pre-sizing each
+// op buffer to cfg.SizeHint.
+func NewRecorderCfg(cfg RecorderConfig) *Recorder {
+	if cfg.Threads <= 0 {
 		panic("trace: need at least one thread")
 	}
-	r := &Recorder{costs: costs, l1: l1, threads: make([]*TP, p), phaseIDs: map[string]int{}}
+	if cfg.SizeHint < 0 {
+		panic("trace: negative recorder size hint")
+	}
+	r := &Recorder{costs: cfg.Costs, l1: cfg.L1, threads: make([]*TP, cfg.Threads), phaseIDs: map[string]int{}}
 	for i := range r.threads {
 		r.threads[i] = &TP{
 			tid:   i,
-			l1:    cachesim.New(l1.Capacity, l1.LineSize, l1.Ways),
-			line:  uint64(l1.LineSize),
-			costs: costs,
+			l1:    cachesim.New(cfg.L1.Capacity, cfg.L1.LineSize, cfg.L1.Ways),
+			line:  uint64(cfg.L1.LineSize),
+			costs: cfg.Costs,
+			ops:   make([]Op, 0, cfg.SizeHint),
 			rec:   r,
 		}
 	}

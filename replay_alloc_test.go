@@ -1,0 +1,51 @@
+package repro_test
+
+// Allocation budget of the replay hot path. Machine construction allocates
+// (cores, channels, the pre-sized event queue), but the steady state —
+// schedule, dispatch, heap maintenance — must not: the event queue stores
+// events unboxed, per-core callbacks are bound once at setup, and
+// post-to-memory carriers recycle through a free list. The budget here is
+// amortized allocations per simulated event, so O(cores) setup noise
+// vanishes into the millions of events a replay executes.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+)
+
+// TestReplayAllocsPerEvent replays a recorded trace and asserts the
+// amortized allocation rate. The bound of 0.01 allocs/event leaves room
+// for setup (hundreds of allocations) against the ~10^5 events of even
+// this small workload while still failing if any per-event path regresses
+// to boxing or closure capture.
+func TestReplayAllocsPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay workload; skipped in -short")
+	}
+	w := goldenWorkload()
+	rec, err := harness.Record(harness.AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.NodeFor(w.Threads, 16, w.SP)
+	res, err := machine.Run(cfg, rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("replay executed no events")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := machine.Run(cfg, rec.Trace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEvent := allocs / float64(res.Events)
+	t.Logf("replay: %.0f allocs over %d events = %.5f allocs/event", allocs, res.Events, perEvent)
+	if perEvent > 0.01 {
+		t.Errorf("replay allocates %.5f per event (%.0f over %d events), want amortized ~0 (< 0.01)",
+			perEvent, allocs, res.Events)
+	}
+}

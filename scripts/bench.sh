@@ -1,63 +1,139 @@
 #!/usr/bin/env bash
-# bench.sh — replay-throughput benchmark harness for the telemetry budget.
+# bench.sh — replay- and sweep-throughput benchmark harness.
 #
-# Runs the BenchmarkReplay* family (baseline replay, telemetry attached but
-# idle, telemetry actively sampling) with -benchmem, emits the parsed
-# numbers as BENCH_replay.json next to this script's repo root, and fails
-# when the idle-telemetry variant is more than MAX_OVERHEAD_PCT slower than
-# the baseline — the "disabled telemetry costs nothing" acceptance bound.
+# Runs two benchmark families and maintains two committed performance
+# trajectories next to the repo root:
+#
+#   BenchmarkReplay*      (root)             -> BENCH_replay.json
+#       baseline replay, telemetry idle, telemetry actively sampling;
+#       the per-event cost of the simulation kernel itself.
+#   BenchmarkSweepTable1* (internal/harness) -> BENCH_sweep.json
+#       the Table I replay batch through the sweep worker pool at one
+#       worker and at GOMAXPROCS; the wall-clock win of -par.
+#
+# Each trajectory is a JSON array with one flat object per run (one line
+# per entry, so awk/grep can read it without a JSON parser). A run appends
+# its entry; commit the updated files to extend the recorded history.
+#
+# Gates (non-zero exit):
+#   - idle-telemetry overhead vs. the bare replay >= MAX_OVERHEAD_PCT (5%)
+#   - baseline ns/event more than MAX_REGRESSION_PCT (10%) above the last
+#     committed BENCH_replay.json entry
+# The Par1/ParMax sweep ratio is report-only: it depends on host core
+# count, which is not a property of the code under test.
 #
 # Usage:  scripts/bench.sh [benchtime]     (default 10x)
+#         BENCH_LABEL=pr5 scripts/bench.sh 20x
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
 MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
-OUT="BENCH_replay.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-10}"
+LABEL="${BENCH_LABEL:-local}"
+STAMP="$(date -u +%Y-%m-%d)"
+REPLAY_OUT="BENCH_replay.json"
+SWEEP_OUT="BENCH_sweep.json"
+RAW_REPLAY="$(mktemp)"
+RAW_SWEEP="$(mktemp)"
+trap 'rm -f "$RAW_REPLAY" "$RAW_SWEEP"' EXIT
 
 echo "== go test -bench BenchmarkReplay -benchtime $BENCHTIME =="
-go test -run '^$' -bench '^BenchmarkReplay' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+go test -run '^$' -bench '^BenchmarkReplay' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW_REPLAY"
 
-# Parse "BenchmarkReplayX-N  iters  T ns/op  E events/sec  ...  A allocs/op"
-# lines into a JSON object keyed by benchmark name.
-awk -v out="$OUT" '
+echo "== go test -bench BenchmarkSweepTable1 -benchtime $BENCHTIME ./internal/harness =="
+go test -run '^$' -bench '^BenchmarkSweepTable1' -benchtime "$BENCHTIME" ./internal/harness | tee "$RAW_SWEEP"
+
+# last_value FILE KEY: the KEY of the most recent trajectory entry, or ""
+last_value() {
+	[ -f "$1" ] || return 0
+	grep -o "\"$2\": [0-9.eE+-]*" "$1" | tail -1 | awk '{print $2}'
+}
+
+# append FILE ENTRY: append one entry line to a JSON-array trajectory,
+# creating the file when absent. Entries are one line each; the closing
+# bracket is always the last line.
+append() {
+	local file="$1" entry="$2"
+	if [ ! -s "$file" ]; then
+		printf '[\n  %s\n]\n' "$entry" >"$file"
+		return
+	fi
+	local tmp
+	tmp="$(mktemp)"
+	sed '$d' "$file" | sed '$ s/$/,/' >"$tmp"
+	printf '  %s\n]\n' "$entry" >>"$tmp"
+	mv "$tmp" "$file"
+}
+
+# --- parse the replay family ---------------------------------------------
+# "BenchmarkReplayX-N  iters  T ns/op  ...  V ns/event ...  A allocs/op"
+read -r BASE_NSOP BASE_NSEV BASE_EPS BASE_ALLOCS IDLE_NSOP IDLE_NSEV ACTIVE_NSEV < <(awk '
 /^BenchmarkReplay/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	sub(/^BenchmarkReplay/, "", name)
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op")      nsop[name] = $i
-		if ($(i+1) == "events/sec") eps[name] = $i
 		if ($(i+1) == "ns/event")   nsev[name] = $i
+		if ($(i+1) == "events/sec") eps[name] = $i
 		if ($(i+1) == "allocs/op")  allocs[name] = $i
 	}
-	order[n++] = name
 }
 END {
-	if (n == 0) { print "bench.sh: no BenchmarkReplay results" > "/dev/stderr"; exit 1 }
-	printf "{\n" > out
-	for (i = 0; i < n; i++) {
-		name = order[i]
-		printf "  \"%s\": {\"ns_per_op\": %s, \"events_per_sec\": %s, \"ns_per_event\": %s, \"allocs_per_op\": %s}%s\n", \
-			name, nsop[name], eps[name], nsev[name], allocs[name], (i < n-1 ? "," : "") > out
-	}
-	printf "}\n" > out
-}' "$RAW"
+	b = "BenchmarkReplayBaseline"; i = "BenchmarkReplayTelemetryIdle"; a = "BenchmarkReplayTelemetryActive"
+	if (!(b in nsev)) { print "bench.sh: no baseline result" > "/dev/stderr"; exit 1 }
+	print nsop[b], nsev[b], eps[b], allocs[b], nsop[i], nsev[i], nsev[a]
+}' "$RAW_REPLAY")
 
-echo "== wrote $OUT =="
-cat "$OUT"
-
-# Enforce the idle-overhead budget: telemetry wired but not sampling must
-# stay within MAX_OVERHEAD_PCT of the bare replay.
-awk -v max="$MAX_OVERHEAD_PCT" '
-/^BenchmarkReplayBaseline/      { base = $3 }
-/^BenchmarkReplayTelemetryIdle/ { idle = $3 }
+# --- parse the sweep family ----------------------------------------------
+read -r PAR1_NSOP PARMAX_NSOP GOMAXPROCS < <(awk '
+/^BenchmarkSweepTable1/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	nsop[name] = $3
+	for (i = 2; i < NF; i++) if ($(i+1) == "gomaxprocs") procs = $i
+}
 END {
-	if (base == 0 || idle == 0) { print "bench.sh: missing baseline or idle result" > "/dev/stderr"; exit 1 }
+	p1 = "BenchmarkSweepTable1Par1"; pm = "BenchmarkSweepTable1ParMax"
+	if (!(p1 in nsop) || !(pm in nsop)) { print "bench.sh: missing sweep results" > "/dev/stderr"; exit 1 }
+	print nsop[p1], nsop[pm], procs+0
+}' "$RAW_SWEEP")
+
+# --- gate 1: idle-telemetry overhead --------------------------------------
+awk -v max="$MAX_OVERHEAD_PCT" -v base="$BASE_NSOP" -v idle="$IDLE_NSOP" 'BEGIN {
+	if (base+0 == 0 || idle+0 == 0) { print "bench.sh: missing baseline or idle result" > "/dev/stderr"; exit 1 }
 	pct = (idle - base) * 100 / base
 	printf "== idle-telemetry overhead: %.2f%% (budget %s%%) ==\n", pct, max
 	if (pct >= max) { print "bench.sh: idle telemetry overhead exceeds budget" > "/dev/stderr"; exit 1 }
-}' "$RAW"
+}'
+
+# --- gate 2: baseline ns/event vs. the committed trajectory ---------------
+PREV_NSEV="$(last_value "$REPLAY_OUT" baseline_ns_per_event)"
+if [ -n "$PREV_NSEV" ]; then
+	awk -v max="$MAX_REGRESSION_PCT" -v prev="$PREV_NSEV" -v cur="$BASE_NSEV" 'BEGIN {
+		pct = (cur - prev) * 100 / prev
+		printf "== baseline ns/event: %.1f vs committed %.1f (%+.2f%%, fail at +%s%%) ==\n", cur, prev, pct, max
+		if (pct > max) { print "bench.sh: replay ns/event regressed past budget" > "/dev/stderr"; exit 1 }
+	}'
+else
+	echo "== no committed baseline in $REPLAY_OUT; recording first entry =="
+fi
+
+# --- report-only: sweep pool speedup --------------------------------------
+awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" -v procs="$GOMAXPROCS" 'BEGIN {
+	printf "== sweep pool: par1 %.0f ns/op, parmax %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d (report-only) ==\n", \
+		p1, pm, p1 / pm, procs
+}'
+
+# --- extend both trajectories ---------------------------------------------
+append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s}' \
+	"$LABEL" "$STAMP" "$BENCHTIME" "$BASE_NSEV" "$BASE_EPS" "$BASE_ALLOCS" "${IDLE_NSEV:-0}" "${ACTIVE_NSEV:-0}")"
+append "$SWEEP_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "par1_ns_per_op": %s, "parmax_ns_per_op": %s, "speedup": %s}' \
+	"$LABEL" "$STAMP" "$BENCHTIME" "$GOMAXPROCS" "$PAR1_NSOP" "$PARMAX_NSOP" \
+	"$(awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" 'BEGIN { printf "%.3f", p1 / pm }')")"
+
+echo "== wrote $REPLAY_OUT =="
+cat "$REPLAY_OUT"
+echo "== wrote $SWEEP_OUT =="
+cat "$SWEEP_OUT"

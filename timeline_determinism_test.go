@@ -57,6 +57,31 @@ func TestTimelineDeterministic(t *testing.T) {
 	}
 }
 
+// TestTimelineSweepParByteIdentity runs the timeline experiment — the
+// sweep whose points carry live telemetry recorders — at every replay
+// worker count and requires byte-identical text. Each point owns a private
+// recorder, so parallel sampling may not reorder or drop a single probe.
+func TestTimelineSweepParByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay workload; skipped in -short")
+	}
+	render := func(par int) string {
+		w := goldenWorkload()
+		w.Par = par
+		s, err := harness.TimelineSweep(w, 16, 10*units.Microsecond)
+		if err != nil {
+			t.Fatalf("Par=%d: %v", par, err)
+		}
+		return s.String()
+	}
+	want := render(1)
+	for _, par := range []int{8, 0} {
+		if got := render(par); got != want {
+			t.Errorf("Par=%d: timeline sweep differs from sequential output", par)
+		}
+	}
+}
+
 // TestTimelinePhases checks that both the NMsort pipeline and the merge
 // baseline attribute their full runtime to named phases, and that the
 // breakdown is consistent (phase durations cover the run, bytes move in
