@@ -44,6 +44,7 @@ func (q *queue) len() int { return len(q.a) }
 // push inserts it, keeping the heap order. Amortized zero allocations: the
 // backing array grows geometrically and is pre-sized by NewWithCap/Reserve.
 func (q *queue) push(it item) {
+	//nmlint:ignore hotpath amortized growth; NewWithCap/Reserve pre-size the array for the replay's steady state
 	q.a = append(q.a, it)
 	a := q.a
 	i := len(a) - 1
@@ -156,11 +157,14 @@ func (s *Sim) Now() units.Time { return s.now }
 
 // At schedules fn to run at absolute simulated time t. Scheduling into the
 // past panics: it would silently violate causality.
+//
+//nmlint:hotpath
 func (s *Sim) At(t units.Time, fn Event) {
 	if t < s.now {
 		panic(fmt.Sprintf("engine: scheduling at %v, before now %v", t, s.now))
 	}
 	s.seq++
+	//nmlint:ignore hotpath dispatch boundary: scheduled callbacks are verified at their own hotpath roots
 	s.events.push(item{at: t, seq: s.seq, fn: fn})
 }
 
@@ -168,6 +172,8 @@ func (s *Sim) At(t units.Time, fn Event) {
 // panics, and so does a delay that overflows units.Time past the end of
 // representable simulated time — silently wrapping would schedule the event
 // into the past and corrupt causality without a trace.
+//
+//nmlint:hotpath
 func (s *Sim) After(d units.Time, fn Event) {
 	if d < 0 {
 		panic("engine: negative delay")
@@ -194,13 +200,17 @@ func (s *Sim) SetSampler(epoch units.Time, fn func(units.Time)) {
 	if fn == nil {
 		panic("engine: nil sampler")
 	}
+	//nmlint:ignore hotpath installation-time hook; the telemetry sampler is verified at Recorder.Sample's own root
 	s.sampler = fn
 	s.epoch = epoch
 	s.nextSample = 0
 }
 
 // step pops and executes the next event unconditionally; callers check the
-// queue first.
+// queue first. This is the schedule/pop cycle of the replay kernel: every
+// simulated event funnels through here.
+//
+//nmlint:hotpath
 func (s *Sim) step() {
 	it := s.events.pop()
 	if s.sampler != nil {

@@ -6,7 +6,7 @@
 // only the standard library (go/ast, go/parser, go/token, go/types) — the
 // module is dependency-free and must stay so.
 //
-// The six analyzers:
+// The seven analyzers:
 //
 //   - nowallclock: no time.Now/Since/Sleep (or timers) in simulator
 //     packages, where all time must be units.Time.
@@ -23,9 +23,22 @@
 //     simulator-owned state: no host I/O, wall clock, channel/sync
 //     operations, or writes to captured variables outside the component
 //     graph.
+//   - hotpath: every function annotated //nmlint:hotpath — and everything
+//     it reaches, transitively — is free of allocation-inducing
+//     constructs: escaping composite literals, unsized append growth,
+//     maps, capturing closures, interface boxing, defer-in-loop, string
+//     building, and channel operations.
+//
+// simpure and hotpath resolve callees, struct-field callbacks, and method
+// values through one shared index (internal/lint/callgraph), so the two
+// closures can never disagree about what a scheduling or annotation site
+// reaches.
 //
 // A finding can be suppressed with a comment on the same line or the line
-// above: //nmlint:ignore <analyzer> [reason].
+// above: //nmlint:ignore <analyzer> [reason]. The hotpath analyzer demands
+// the reason: a bare "//nmlint:ignore hotpath" suppresses nothing and is
+// itself reported, so every allocation left on an annotated path carries
+// its justification in the source.
 package lint
 
 import (
@@ -71,6 +84,7 @@ func Analyzers() []*Analyzer {
 		ParOnlyGoroutines,
 		UnitsLit,
 		SimPure,
+		HotPath,
 	}
 }
 
@@ -105,11 +119,18 @@ func (u *Unit) RelPath() string {
 }
 
 // Run executes every analyzer over every unit of the module and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. Suppression
+// directives are collected module-wide before any analyzer runs: the
+// transitive analyzers (simpure, hotpath) report findings at the offending
+// expression even when it lives in a different package than the scheduling
+// or annotation site, and the ignore comment must work where the construct
+// is, not where the walk started. Identical findings reached from several
+// units (two root sets walking into one shared helper) collapse to one.
 func Run(mod *Module) []Diagnostic {
+	ignores := mod.Ignores()
 	var diags []Diagnostic
 	for _, u := range mod.Units() {
-		diags = append(diags, RunUnit(u, Analyzers())...)
+		diags = append(diags, runUnit(u, Analyzers(), ignores)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -122,15 +143,29 @@ func Run(mod *Module) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
 }
 
-// RunUnit executes the given analyzers over one unit, applying suppression
-// comments.
+// RunUnit executes the given analyzers over one unit, applying the unit's
+// own suppression comments. Fixture self-tests use it; whole-module runs go
+// through Run, which unions suppressions across units first.
 func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
-	ignores := collectIgnores(u)
+	return runUnit(u, analyzers, collectIgnores(u))
+}
+
+func runUnit(u *Unit, analyzers []*Analyzer, ignores ignoreSet) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a.Run(u, func(pos token.Pos, format string, args ...any) {
@@ -180,6 +215,12 @@ func collectIgnores(u *Unit) ignoreSet {
 					set[p.Filename] = byLine
 				}
 				for _, name := range strings.Split(fields[0], ",") {
+					if name == HotPath.Name && len(fields) < 2 {
+						// hotpath demands a justification: a bare ignore
+						// suppresses nothing, and the analyzer reports the
+						// comment itself.
+						continue
+					}
 					byLine[p.Line] = append(byLine[p.Line], name)
 				}
 			}
@@ -205,11 +246,12 @@ func (s ignoreSet) suppressed(p token.Position, analyzer string) bool {
 
 // pkgNameOf resolves an identifier to the import path of the package it
 // names, or "" when it is not a package name.
-func pkgNameOf(u *Unit, id *ast.Ident) string {
-	if obj, ok := u.Info.Uses[id]; ok {
-		if pn, ok := obj.(*types.PkgName); ok {
-			return pn.Imported().Path()
-		}
+func pkgNameOf(u *Unit, id *ast.Ident) string { return pkgPathOf(u.Info, id) }
+
+// pkgPathOf is pkgNameOf over bare type info, for walks that cross units.
+func pkgPathOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
 	}
 	return ""
 }

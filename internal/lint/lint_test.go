@@ -184,6 +184,43 @@ func TestSimPureExemptsEngine(t *testing.T) {
 	}
 }
 
+func TestHotPathFixture(t *testing.T) {
+	// One want marker (or count) per allocation construct class; good.go
+	// must stay silent.
+	checkFixture(t, lint.HotPath, "hotpath", "repro/internal/hotfixture")
+}
+
+func TestHotPathBareIgnore(t *testing.T) {
+	// A bare //nmlint:ignore hotpath must not suppress the finding and is
+	// itself reported; a reasoned one suppresses. Asserted on messages
+	// because the bare directive occupies its own line and cannot carry a
+	// want marker.
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "hotpathignore")
+	u, err := lint.LoadDirAs(root, dir, "repro/internal/hotignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunUnit(u, []*lint.Analyzer{lint.HotPath})
+	var bareReports, appendReports int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "suppressing hotpath requires a reason"):
+			bareReports++
+		case strings.Contains(d.Message, "append may grow"):
+			appendReports++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if bareReports != 1 {
+		t.Errorf("bare ignore reports = %d, want 1 (diags: %v)", bareReports, diags)
+	}
+	if appendReports != 1 {
+		t.Errorf("append reports = %d, want 1: the bare ignore must not suppress and the reasoned one must (diags: %v)", appendReports, diags)
+	}
+}
+
 // TestWholeModuleClean is the self-referential acceptance gate: the suite
 // must load, type-check, and pass every analyzer over this repository.
 func TestWholeModuleClean(t *testing.T) {

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // Unit is one analyzable package: its syntax plus full type information.
@@ -28,10 +30,13 @@ type Unit struct {
 	Info       *types.Info
 
 	// Mod links back to the whole loaded module when the unit came from
-	// Load; module-wide analyses (simpure's transitive call walk) use it
-	// to resolve callees declared in sibling packages. Units built by
-	// LoadDirAs stand alone and leave it nil.
+	// Load; module-wide analyses (the simpure and hotpath transitive call
+	// walks) use it to resolve callees declared in sibling packages. Units
+	// built by LoadDirAs stand alone and leave it nil.
 	Mod *Module
+
+	src *callgraph.Source // memoized callgraph view of this unit
+	cg  *callgraph.Graph  // single-unit graph for LoadDirAs fixtures
 }
 
 // Module is a loaded module tree.
@@ -40,11 +45,61 @@ type Module struct {
 	Path  string // module path from go.mod
 	Fset  *token.FileSet
 	units []*Unit
+	cg    *callgraph.Graph // shared module-wide call graph, built on demand
 }
 
 // Units returns every analyzable unit, sorted by import path (external test
 // packages sort after their package).
 func (m *Module) Units() []*Unit { return m.units }
+
+// Ignores unions the suppression directives of every unit, so transitive
+// analyzers that report findings in sibling packages honor the ignore
+// comment sitting next to the flagged construct.
+func (m *Module) Ignores() ignoreSet {
+	set := ignoreSet{}
+	for _, u := range m.units {
+		for file, byLine := range collectIgnores(u) {
+			dst := set[file]
+			if dst == nil {
+				set[file] = byLine
+				continue
+			}
+			for line, names := range byLine {
+				dst[line] = append(dst[line], names...)
+			}
+		}
+	}
+	return set
+}
+
+// asSource converts the unit to its callgraph view, memoized so object
+// identity of the Source is stable across analyzers.
+func (u *Unit) asSource() *callgraph.Source {
+	if u.src == nil {
+		u.src = &callgraph.Source{Fset: u.Fset, Files: u.Files, Info: u.Info, Pkg: u.Pkg}
+	}
+	return u.src
+}
+
+// graphFor returns the call graph covering the unit's resolution scope: the
+// whole module for Load-built units (built once, cached on the Module, and
+// shared by every analyzer), or the unit alone for LoadDirAs fixtures.
+func graphFor(u *Unit) *callgraph.Graph {
+	if u.Mod != nil {
+		if u.Mod.cg == nil {
+			srcs := make([]*callgraph.Source, 0, len(u.Mod.units))
+			for _, uu := range u.Mod.units {
+				srcs = append(srcs, uu.asSource())
+			}
+			u.Mod.cg = callgraph.New(u.Fset, srcs)
+		}
+		return u.Mod.cg
+	}
+	if u.cg == nil {
+		u.cg = callgraph.New(u.Fset, []*callgraph.Source{u.asSource()})
+	}
+	return u.cg
+}
 
 // loader resolves imports for type checking: module-internal paths load
 // from source under the module root (memoized), everything else delegates

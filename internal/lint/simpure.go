@@ -6,8 +6,9 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"strconv"
 	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // SimPure verifies that every callback scheduled on engine.Sim.At/After —
@@ -67,35 +68,18 @@ type spFinding struct {
 	msg string
 }
 
-// simpureDecl locates a function declaration together with the unit whose
-// type info resolves its body.
-type simpureDecl struct {
-	u    *Unit
-	decl *ast.FuncDecl
-}
-
-// fieldStore is one assignment to a struct field: the stored expression and
-// the unit whose type info resolves it. A nil rhs marks a store whose value
-// cannot be matched to the field (a multi-value assignment from a call).
-type fieldStore struct {
-	u   *Unit
-	rhs ast.Expr
-	pos token.Pos
-}
-
 type simpureChecker struct {
 	u      *Unit
 	report ReportFunc
+	g      *callgraph.Graph // shared decl + field-store index (see callgraph)
 
 	files   map[string]bool        // filenames belonging to the scheduling unit
-	index   map[string]simpureDecl // position key of a func's name → its decl
 	visited map[string]bool        // decls entered (recursion guard)
 	cache   map[string][]spFinding // memoized per-decl findings
 	seen    map[string]bool        // emitted diagnostics (dedup across call sites)
 
-	fields       map[string][]fieldStore // field decl position key → its stores (lazy)
-	fieldVisited map[string]bool         // fields entered (recursion guard)
-	fieldCache   map[string][]spFinding  // memoized per-field findings
+	fieldVisited map[string]bool        // fields entered (recursion guard)
+	fieldCache   map[string][]spFinding // memoized per-field findings
 }
 
 func runSimPure(u *Unit, report ReportFunc) {
@@ -107,13 +91,17 @@ func runSimPure(u *Unit, report ReportFunc) {
 	c := &simpureChecker{
 		u:            u,
 		report:       report,
+		g:            graphFor(u),
 		visited:      map[string]bool{},
 		cache:        map[string][]spFinding{},
 		seen:         map[string]bool{},
 		fieldVisited: map[string]bool{},
 		fieldCache:   map[string][]spFinding{},
 	}
-	c.buildIndex()
+	c.files = map[string]bool{}
+	for _, f := range u.Files {
+		c.files[u.Fset.Position(f.Pos()).Filename] = true
+	}
 	inspect(u, true, func(f *ast.File, n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) != 2 || !c.isSchedule(call) {
@@ -151,42 +139,13 @@ func (c *simpureChecker) isSchedule(call *ast.CallExpr) bool {
 		obj.Pkg().Path() == c.u.ModulePath+"/internal/engine"
 }
 
-// buildIndex maps every function declaration in scope (the whole module
-// when available, just this unit under LoadDirAs) by the file:line:col of
-// its name. Objects resolved through the import cache point at a separate
-// parse of the same files, so token.Pos values differ between the two ASTs
-// while file positions agree — hence the string key.
-func (c *simpureChecker) buildIndex() {
-	units := []*Unit{c.u}
-	if c.u.Mod != nil {
-		units = c.u.Mod.Units()
-	}
-	c.index = map[string]simpureDecl{}
-	for _, uu := range units {
-		for _, f := range uu.Files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok {
-					c.index[c.posKey(fd.Name.Pos())] = simpureDecl{uu, fd}
-				}
-			}
-		}
-	}
-	c.files = map[string]bool{}
-	for _, f := range c.u.Files {
-		c.files[c.u.Fset.Position(f.Pos()).Filename] = true
-	}
-}
-
-func (c *simpureChecker) posKey(pos token.Pos) string {
-	p := c.u.Fset.Position(pos)
-	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
-}
+func (c *simpureChecker) posKey(pos token.Pos) string { return c.g.PosKey(pos) }
 
 // checkCallback dispatches on the shape of the scheduled callback argument.
 func (c *simpureChecker) checkCallback(arg ast.Expr) {
 	switch e := unparenExpr(arg).(type) {
 	case *ast.FuncLit:
-		c.emit(arg, c.checkBody(c.u, e, e.Body))
+		c.emit(arg, c.checkBody(c.u.asSource(), e, e.Body))
 	case *ast.Ident:
 		c.checkNamedCallback(arg, e)
 	case *ast.SelectorExpr:
@@ -223,13 +182,12 @@ func (c *simpureChecker) checkNamedCallback(arg ast.Expr, id *ast.Ident) {
 // function, or a method value. Field object identity is bridged across
 // units by declaration position, like the function index.
 func (c *simpureChecker) checkEventField(v *types.Var) []spFinding {
-	c.buildFieldIndex()
 	key := c.posKey(v.Pos())
 	if c.fieldVisited[key] {
 		return c.fieldCache[key]
 	}
 	c.fieldVisited[key] = true
-	stores := c.fields[key]
+	stores := c.g.FieldStores(v)
 	if len(stores) == 0 {
 		return []spFinding{{v.Pos(), fmt.Sprintf(
 			"event field %s is scheduled but never assigned a callback the analyzer can see; bind it to a function literal or method value", v.Name())}}
@@ -243,26 +201,26 @@ func (c *simpureChecker) checkEventField(v *types.Var) []spFinding {
 }
 
 // checkStore verifies one assignment to a scheduled event field.
-func (c *simpureChecker) checkStore(st fieldStore, selfKey string) []spFinding {
-	if st.rhs == nil {
-		return []spFinding{{st.pos,
+func (c *simpureChecker) checkStore(st callgraph.FieldStore, selfKey string) []spFinding {
+	if st.Rhs == nil {
+		return []spFinding{{st.Pos,
 			"event field is bound through a multi-value assignment that cannot be statically verified; bind it from a single assignment"}}
 	}
-	switch e := unparenExpr(st.rhs).(type) {
+	switch e := unparenExpr(st.Rhs).(type) {
 	case *ast.FuncLit:
-		return c.checkBody(st.u, e, e.Body)
+		return c.checkBody(st.Src, e, e.Body)
 	case *ast.Ident:
 		return c.checkStoredNamed(st, e, selfKey)
 	case *ast.SelectorExpr:
 		return c.checkStoredNamed(st, e.Sel, selfKey)
 	default:
-		return []spFinding{{st.rhs.Pos(),
+		return []spFinding{{st.Rhs.Pos(),
 			"event field is bound to a computed expression that cannot be statically verified; bind a function literal or method value"}}
 	}
 }
 
-func (c *simpureChecker) checkStoredNamed(st fieldStore, id *ast.Ident, selfKey string) []spFinding {
-	switch obj := st.u.Info.Uses[id].(type) {
+func (c *simpureChecker) checkStoredNamed(st callgraph.FieldStore, id *ast.Ident, selfKey string) []spFinding {
+	switch obj := st.Src.Info.Uses[id].(type) {
 	case *types.Func:
 		return c.checkFunc(obj)
 	case *types.Var:
@@ -273,65 +231,8 @@ func (c *simpureChecker) checkStoredNamed(st fieldStore, id *ast.Ident, selfKey 
 			return c.checkEventField(obj)
 		}
 	}
-	return []spFinding{{st.rhs.Pos(), fmt.Sprintf(
+	return []spFinding{{st.Rhs.Pos(), fmt.Sprintf(
 		"event field is bound to function value %s, which cannot be statically verified; bind a function literal or method value", id.Name)}}
-}
-
-// buildFieldIndex maps every struct-field assignment in the loaded set —
-// plain/multi assignments and composite-literal keyed elements — by the
-// declaration position of the field written. Built lazily: only units that
-// actually schedule an event field pay for the walk.
-func (c *simpureChecker) buildFieldIndex() {
-	if c.fields != nil {
-		return
-	}
-	c.fields = map[string][]fieldStore{}
-	units := []*Unit{c.u}
-	if c.u.Mod != nil {
-		units = c.u.Mod.Units()
-	}
-	record := func(uu *Unit, id *ast.Ident, st fieldStore) {
-		v, ok := uu.Info.Uses[id].(*types.Var)
-		if !ok || !v.IsField() {
-			return
-		}
-		key := c.posKey(v.Pos())
-		c.fields[key] = append(c.fields[key], st)
-	}
-	for _, uu := range units {
-		for _, f := range uu.Files {
-			uu := uu
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.AssignStmt:
-					for i, lhs := range n.Lhs {
-						sel, ok := unparenExpr(lhs).(*ast.SelectorExpr)
-						if !ok {
-							continue
-						}
-						st := fieldStore{u: uu, pos: lhs.Pos()}
-						if len(n.Rhs) == len(n.Lhs) {
-							st.rhs = n.Rhs[i]
-						}
-						record(uu, sel.Sel, st)
-					}
-				case *ast.CompositeLit:
-					for _, el := range n.Elts {
-						kv, ok := el.(*ast.KeyValueExpr)
-						if !ok {
-							continue
-						}
-						id, ok := kv.Key.(*ast.Ident)
-						if !ok {
-							continue
-						}
-						record(uu, id, fieldStore{u: uu, rhs: kv.Value, pos: kv.Pos()})
-					}
-				}
-				return true
-			})
-		}
-	}
 }
 
 // checkFunc resolves a module-internal function object to its declaration
@@ -350,7 +251,7 @@ func (c *simpureChecker) checkFunc(fn *types.Func) []spFinding {
 	if path == c.u.ModulePath+"/internal/engine" {
 		return nil
 	}
-	d, ok := c.index[c.posKey(fn.Pos())]
+	d, ok := c.g.DeclOf(fn)
 	if !ok {
 		return nil // outside the loaded set (fixture mode); trusted
 	}
@@ -360,16 +261,16 @@ func (c *simpureChecker) checkFunc(fn *types.Func) []spFinding {
 // checkDecl verifies one declaration, memoized. Recursive call chains
 // terminate because a decl already being checked returns its (so far
 // empty) cache entry.
-func (c *simpureChecker) checkDecl(d simpureDecl) []spFinding {
-	key := c.posKey(d.decl.Name.Pos())
+func (c *simpureChecker) checkDecl(d callgraph.Decl) []spFinding {
+	key := c.posKey(d.Fn.Name.Pos())
 	if c.visited[key] {
 		return c.cache[key]
 	}
 	c.visited[key] = true
-	if d.decl.Body == nil {
+	if d.Fn.Body == nil {
 		return nil
 	}
-	fs := c.checkBody(d.u, d.decl, d.decl.Body)
+	fs := c.checkBody(d.Src, d.Fn, d.Fn.Body)
 	c.cache[key] = fs
 	return fs
 }
@@ -379,7 +280,7 @@ func (c *simpureChecker) checkDecl(d simpureDecl) []spFinding {
 // "inside the callback" for the capture analysis (the FuncLit or FuncDecl
 // whose body this is — anything declared within it is local, anything
 // outside is captured).
-func (c *simpureChecker) checkBody(owner *Unit, root ast.Node, body *ast.BlockStmt) []spFinding {
+func (c *simpureChecker) checkBody(owner *callgraph.Source, root ast.Node, body *ast.BlockStmt) []spFinding {
 	var fs []spFinding
 	add := func(pos token.Pos, format string, args ...any) {
 		fs = append(fs, spFinding{pos, fmt.Sprintf(format, args...)})
@@ -432,12 +333,12 @@ func (c *simpureChecker) checkBody(owner *Unit, root ast.Node, body *ast.BlockSt
 
 // checkSelector rejects package-qualified uses of host-facing packages,
 // wall-clock reads, stdout printers, and sync/atomic primitives.
-func (c *simpureChecker) checkSelector(owner *Unit, sel *ast.SelectorExpr, add func(token.Pos, string, ...any)) {
+func (c *simpureChecker) checkSelector(owner *callgraph.Source, sel *ast.SelectorExpr, add func(token.Pos, string, ...any)) {
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return
 	}
-	path := pkgNameOf(owner, id)
+	path := pkgPathOf(owner.Info, id)
 	if path == "" {
 		return
 	}
@@ -466,7 +367,7 @@ func (c *simpureChecker) checkSelector(owner *Unit, sel *ast.SelectorExpr, add f
 // reached through values, opaque function values, and — the transitive
 // step — module-internal helpers, whose findings are folded into the
 // caller's.
-func (c *simpureChecker) checkCall(owner *Unit, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+func (c *simpureChecker) checkCall(owner *callgraph.Source, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
 	if tv, ok := owner.Info.Types[call.Fun]; ok && tv.IsType() {
 		return // conversion, not a call
 	}
@@ -510,7 +411,7 @@ func (c *simpureChecker) checkCall(owner *Unit, call *ast.CallExpr, add func(tok
 		if path == c.u.ModulePath+"/internal/engine" {
 			return // the kernel's own API (At/After/Now/…) is the trusted base
 		}
-		if d, ok := c.index[c.posKey(obj.Pos())]; ok {
+		if d, ok := c.g.DeclOf(obj); ok {
 			// Fold the callee's findings into ours; the emitter re-anchors
 			// positions that fall outside the scheduling unit.
 			for _, f := range c.checkDecl(d) {
@@ -521,7 +422,7 @@ func (c *simpureChecker) checkCall(owner *Unit, call *ast.CallExpr, add func(tok
 }
 
 // checkWrite vets one assignment target inside a callback.
-func (c *simpureChecker) checkWrite(owner *Unit, root ast.Node, lhs ast.Expr, add func(token.Pos, string, ...any)) {
+func (c *simpureChecker) checkWrite(owner *callgraph.Source, root ast.Node, lhs ast.Expr, add func(token.Pos, string, ...any)) {
 	id, direct := rootIdentOf(lhs)
 	if id == nil || id.Name == "_" {
 		return
@@ -558,7 +459,7 @@ func (c *simpureChecker) checkWrite(owner *Unit, root ast.Node, lhs ast.Expr, ad
 // simOwned reports whether t is (a pointer to) a named type declared in a
 // simulator package or in the scheduling unit's own package — the static
 // approximation of "reachable from the component graph".
-func (c *simpureChecker) simOwned(owner *Unit, t types.Type) bool {
+func (c *simpureChecker) simOwned(owner *callgraph.Source, t types.Type) bool {
 	for {
 		switch tt := t.(type) {
 		case *types.Pointer:
@@ -609,38 +510,10 @@ func (c *simpureChecker) emitOne(pos token.Pos, format string, args ...any) {
 // rootIdentOf unwraps an assignment target to its root identifier. direct
 // is true when the target IS the identifier (a bare captured write) rather
 // than a selector/index/dereference path through it.
-func rootIdentOf(e ast.Expr) (id *ast.Ident, direct bool) {
-	direct = true
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return x, direct
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			e, direct = x.X, false
-		case *ast.IndexExpr:
-			e, direct = x.X, false
-		case *ast.StarExpr:
-			e, direct = x.X, false
-		case *ast.SliceExpr:
-			e, direct = x.X, false
-		default:
-			return nil, false
-		}
-	}
-}
+func rootIdentOf(e ast.Expr) (id *ast.Ident, direct bool) { return callgraph.RootIdent(e) }
 
 // unparenExpr strips any number of enclosing parentheses.
-func unparenExpr(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
-	}
-}
+func unparenExpr(e ast.Expr) ast.Expr { return callgraph.Unparen(e) }
 
 // pkgBase returns the final element of an import path.
 func pkgBase(path string) string {

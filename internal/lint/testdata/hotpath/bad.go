@@ -1,0 +1,139 @@
+// Package hotfixture is the hotpath fixture: bad.go holds one violation of
+// each allocation construct class (every want marker is one diagnostic),
+// good.go the allocation-free idioms the analyzer must accept.
+package hotfixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type sink struct {
+	buf   []int
+	ev    func()
+	depth int
+}
+
+var global any
+
+//nmlint:hotpath
+func badConstructs(s *sink, n int) {
+	p := new(int) // want
+	_ = p
+	q := &sink{} // want
+	_ = q
+	sl := []int{1, 2, 3} // want
+	_ = sl
+	m := map[int]int{} // want
+	_ = m
+	mm := make(map[int]int) // want
+	_ = mm
+	b := make([]byte, n) // want
+	_ = b
+	s.buf = append(s.buf, n) // want
+}
+
+//nmlint:hotpath
+func badChannels(ch chan int, n int) {
+	ch <- n  // want
+	<-ch     // want
+	select { // want
+	default:
+	}
+	close(ch)            // want
+	go tickFlatBad()     // want
+	cc := make(chan int) // want
+	_ = cc
+	for range ch { // want
+	}
+}
+
+func tickFlatBad() {}
+
+//nmlint:hotpath
+func badMapIter(m map[int]int) int {
+	t := 0
+	for k := range m { // want
+		t += k
+	}
+	return t
+}
+
+//nmlint:hotpath
+func badClosures(s *sink, n int) {
+	s.ev = func() { s.depth = n } // want 2
+	_ = s.ev
+}
+
+type worker struct{ count int }
+
+func (w *worker) tick() { w.count++ }
+
+//nmlint:hotpath
+func badMethodValue(w *worker) {
+	f := w.tick // want
+	f()         // want
+}
+
+//nmlint:hotpath
+func badDeferLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer tickFlatBad() // want
+	}
+}
+
+//nmlint:hotpath
+func badStrings(a, b string, bs []byte) string {
+	c := a + b      // want
+	c += a          // want
+	d := string(bs) // want
+	_ = d
+	e := []byte(a) // want
+	_ = e
+	return c
+}
+
+//nmlint:hotpath
+func badBoxing(s *sink, v int) {
+	global = v               // want
+	takeAny(v)               // want
+	_ = any(v)               // want
+	_ = fmt.Sprintf("%d", v) // want
+	_ = strconv.Itoa(v)      // want
+}
+
+func takeAny(x any) { _ = x }
+
+//nmlint:hotpath
+func badTransitive(s *sink) {
+	helper(s)
+}
+
+// helper is not annotated itself: its append is reported because a hot
+// root reaches it.
+func helper(s *sink) {
+	s.buf = append(s.buf, 1) // want
+}
+
+type carrier struct {
+	ev func()
+}
+
+//nmlint:hotpath
+func badFieldCall(c *carrier) {
+	c.ev()
+}
+
+// bindBad binds a hot callback field to a literal whose body allocates;
+// the finding lands in the body, not at the (cold, setup-time) binding.
+func bindBad(c *carrier) {
+	c.ev = func() {
+		_ = make([]int, 8) // want
+	}
+}
+
+// bindOpaque binds the same field to an opaque function value, which the
+// analyzer cannot chase.
+func bindOpaque(c *carrier, f func()) {
+	c.ev = f // want
+}

@@ -1,0 +1,108 @@
+package hotfixture
+
+import "fmt"
+
+// goodFlat: index writes, address-of-element, and struct value literals
+// are allocation-free.
+//
+//nmlint:hotpath
+func goodFlat(s *sink, xs []int, n int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	s.buf[0] = t
+	p := &s.buf[0]
+	_ = p
+	v := sink{depth: n}
+	_ = v
+	return t
+}
+
+// goodColdPaths: panic arguments and error returns are failure exits, not
+// steady state — formatting there is fine.
+//
+//nmlint:hotpath
+func goodColdPaths(xs []int, n int) (int, error) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	if n >= len(xs) {
+		return 0, fmt.Errorf("n %d out of range %d", n, len(xs))
+	}
+	return xs[n], nil
+}
+
+// goodStatic: a non-capturing func literal is a static value, and a
+// method expression is a plain function — neither allocates.
+//
+//nmlint:hotpath
+func goodStatic(s *sink) {
+	s.ev = func() {}
+	_ = (*worker).tick
+}
+
+// goodPointerBox: pointer-shaped values, nil, and constants store into
+// interfaces without allocating.
+//
+//nmlint:hotpath
+func goodPointerBox(s *sink) {
+	global = s
+	global = nil
+	takeAny(s)
+	_ = any(3)
+	const k = "static"
+	global = k
+}
+
+type goodCarrier struct{ ev func() }
+
+func tickFlat() {}
+
+// bindGood binds the hot callback field only to verifiable, clean values.
+func bindGood(c *goodCarrier) {
+	c.ev = tickFlat
+	c.ev = func() {}
+	c.ev = nil
+}
+
+// goodFieldCall: every binding of goodCarrier.ev is hot-clean, so the
+// dispatch is too.
+//
+//nmlint:hotpath
+func goodFieldCall(c *goodCarrier) {
+	c.ev()
+}
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// goodVariadic: a concrete-typed variadic pack usually stays on the
+// stack; it is left to -escape-check, not flagged here.
+//
+//nmlint:hotpath
+func goodVariadic(a, b int) int {
+	return sum(a, b)
+}
+
+// goodDefer: a defer outside any loop is open-coded and allocation-free.
+//
+//nmlint:hotpath
+func goodDefer(s *sink) {
+	defer tickFlat()
+	s.depth++
+}
+
+// goodReasonedIgnore: an ignore that carries a reason is the sanctioned
+// escape hatch.
+//
+//nmlint:hotpath
+func goodReasonedIgnore(s *sink, n int) {
+	//nmlint:ignore hotpath amortized growth; buffer is pre-sized at setup
+	s.buf = append(s.buf, n)
+}

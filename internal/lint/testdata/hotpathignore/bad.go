@@ -1,0 +1,21 @@
+// Package hotignore exercises the hotpath suppression contract: a bare
+// //nmlint:ignore hotpath registers nothing (the flagged construct stays
+// reported) and is itself a diagnostic, while a reasoned ignore
+// suppresses. Checked by TestHotPathBareIgnore, which asserts on messages
+// rather than want markers — the bare directive is a full-line comment
+// and cannot carry one.
+package hotignore
+
+type state struct{ buf []int }
+
+//nmlint:hotpath
+func bare(s *state, n int) {
+	//nmlint:ignore hotpath
+	s.buf = append(s.buf, n)
+}
+
+//nmlint:hotpath
+func reasoned(s *state, n int) {
+	//nmlint:ignore hotpath amortized growth; buffer recycled across events
+	s.buf = append(s.buf, n)
+}

@@ -41,7 +41,10 @@ type core struct {
 }
 
 // run advances the core from the current simulated time. It either
-// processes ops until it must wait or finishes the stream.
+// processes ops until it must wait or finishes the stream. This is the
+// per-core replay callback — the dominant event body of every experiment.
+//
+//nmlint:hotpath
 func (c *core) run() {
 	for c.pc < len(c.stream) {
 		op := c.stream[c.pc]
@@ -152,6 +155,8 @@ func (c *core) drained() bool {
 
 // fillDone retires one outstanding fill and wakes the core if it was
 // stalled on a full MSHR or draining.
+//
+//nmlint:hotpath
 func (c *core) fillDone() {
 	c.inflight--
 	if c.stallFull {
@@ -167,6 +172,8 @@ func (c *core) fillDone() {
 
 // dmaDone retires one background copy issued by this core and wakes it if
 // it was parked on an OpDMAWait.
+//
+//nmlint:hotpath
 func (c *core) dmaDone() {
 	c.dmaOut--
 	if c.dmaWait && c.dmaOut == 0 {
@@ -190,7 +197,9 @@ type barrierCtl struct {
 }
 
 func (b *barrierCtl) arrive(c *core) {
+	//nmlint:ignore hotpath amortized: the release below recycles the backing array, so growth stops after the first cycle
 	b.waiting = append(b.waiting, c)
+	//nmlint:ignore hotpath amortized: recycled with waiting at release
 	b.arrivals = append(b.arrivals, c.m.sim.Now())
 	if len(b.waiting) < b.need {
 		return
@@ -198,6 +207,7 @@ func (b *barrierCtl) arrive(c *core) {
 	released := b.waiting
 	arrivals := b.arrivals
 	now := c.m.sim.Now()
+	//nmlint:ignore hotpath one append per global barrier; bounded by the trace's barrier count
 	b.releases = append(b.releases, now)
 	if tel := c.m.tel; tel != nil {
 		// One wait slice per core, arrival to release, on its own track —
@@ -235,11 +245,13 @@ func (d *dmaEngine) enqueue(c *core, src, dst addr.Addr, n units.Bytes) {
 	// The source device streams the copy out (reads), the destination
 	// absorbs it (writes); each side accounts its own direction.
 	var read, write units.Time
+	//nmlint:ignore escape-check inlined LevelOf panic formatting; only the cold out-of-window exit allocates
 	if addr.LevelOf(src) == addr.Near {
 		read = d.m.near.BulkAcquire(now, n, false)
 	} else {
 		read = d.m.far.BulkAcquire(now, n, false)
 	}
+	//nmlint:ignore escape-check inlined LevelOf panic formatting; cold exit only
 	if addr.LevelOf(dst) == addr.Near {
 		write = d.m.near.BulkAcquire(now, n, true)
 	} else {

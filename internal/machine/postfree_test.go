@@ -1,0 +1,48 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/units"
+)
+
+// TestPostFreeCapBound posts far more concurrent writes than postFreeCap
+// and checks the free list never retains more than the cap: a writeback
+// storm must not pin its peak carrier population for the rest of the replay.
+func TestPostFreeCapBound(t *testing.T) {
+	m := New(TinyConfig(8, units.MiB))
+	const posted = 4 * postFreeCap
+	for i := 0; i < posted; i++ {
+		// All at time zero: the free list is empty, so every post allocates
+		// a fresh carrier and postFreeCap of them can be recycled at most.
+		m.postToMemory(0, 0, addr.FarBase+addr.Addr(i*64))
+	}
+	m.sim.Run()
+	if n := len(m.postFree); n != postFreeCap {
+		t.Errorf("after %d concurrent posted writes, free list holds %d carriers, want exactly postFreeCap=%d",
+			posted, n, postFreeCap)
+	}
+}
+
+// TestPostFreeReuse checks the steady state: sequential posted writes (each
+// drained before the next posts) recycle one carrier instead of allocating.
+func TestPostFreeReuse(t *testing.T) {
+	m := New(TinyConfig(8, units.MiB))
+	m.postToMemory(0, 0, addr.FarBase)
+	m.sim.Run()
+	if len(m.postFree) != 1 {
+		t.Fatalf("free list holds %d carriers after one drained post, want 1", len(m.postFree))
+	}
+	first := m.postFree[0]
+	for i := 1; i <= 32; i++ {
+		m.postToMemory(m.sim.Now(), 0, addr.FarBase+addr.Addr(i*64))
+		m.sim.Run()
+		if len(m.postFree) != 1 {
+			t.Fatalf("post %d: free list holds %d carriers, want 1", i, len(m.postFree))
+		}
+		if m.postFree[0] != first {
+			t.Fatalf("post %d: carrier was not recycled", i)
+		}
+	}
+}

@@ -234,59 +234,8 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: implausible op count %d", nOps)
 		}
 		ops := make([]Op, nOps)
-		var prevAddr uint64
-		for i := range ops {
-			tag, err := br.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("trace: thread %d op %d: %w", t, i, err)
-			}
-			op := Op{Kind: Kind(tag & tagKindMask), Write: tag&tagWrite != 0}
-			if tag&tagHasGap != 0 {
-				g, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("trace: gap: %w", err)
-				}
-				if g > uint64(^uint32(0)) {
-					return nil, fmt.Errorf("trace: gap %d overflows", g)
-				}
-				op.Gap = uint32(g)
-			}
-			switch op.Kind {
-			case OpAccess, OpAtomic:
-				d, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("trace: addr delta: %w", err)
-				}
-				op.Addr = prevAddr + uint64(d)
-				prevAddr = op.Addr
-			case OpDMA:
-				if op.Addr, err = binary.ReadUvarint(br); err != nil {
-					return nil, fmt.Errorf("trace: dma src: %w", err)
-				}
-				if op.Addr2, err = binary.ReadUvarint(br); err != nil {
-					return nil, fmt.Errorf("trace: dma dst: %w", err)
-				}
-				sz, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("trace: dma size: %w", err)
-				}
-				// Mirror the gap overflow check: silently truncating to
-				// uint32 would decode a corrupt stream into a different
-				// (smaller) workload instead of rejecting it.
-				if sz > uint64(^uint32(0)) {
-					return nil, fmt.Errorf("trace: dma size %d overflows", sz)
-				}
-				op.Size = uint32(sz)
-			case OpPhase:
-				if op.Addr, err = binary.ReadUvarint(br); err != nil {
-					return nil, fmt.Errorf("trace: phase id: %w", err)
-				}
-			case OpBarrier, OpDMAWait, OpGap, OpEnd:
-				// tag only
-			default:
-				return nil, fmt.Errorf("trace: unknown op kind %d", op.Kind)
-			}
-			ops[i] = op
+		if err := decodeOps(br, ops, t); err != nil {
+			return nil, err
 		}
 		tr.Streams[t] = ops
 	}
@@ -294,4 +243,69 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: %d trailing payload bytes", br.Len())
 	}
 	return tr, nil
+}
+
+// decodeOps decodes thread t's op stream into ops, which the caller sized
+// from the validated per-thread count. This is the replay pipeline's decode
+// hot loop — tens of millions of iterations for the Table I traces — so it
+// fills the caller-allocated slice in place and allocates only on the error
+// exits.
+//
+//nmlint:hotpath
+func decodeOps(br *bytes.Reader, ops []Op, t int64) error {
+	var prevAddr uint64
+	for i := range ops {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: thread %d op %d: %w", t, i, err)
+		}
+		op := Op{Kind: Kind(tag & tagKindMask), Write: tag&tagWrite != 0}
+		if tag&tagHasGap != 0 {
+			g, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: gap: %w", err)
+			}
+			if g > uint64(^uint32(0)) {
+				return fmt.Errorf("trace: gap %d overflows", g)
+			}
+			op.Gap = uint32(g)
+		}
+		switch op.Kind {
+		case OpAccess, OpAtomic:
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: addr delta: %w", err)
+			}
+			op.Addr = prevAddr + uint64(d)
+			prevAddr = op.Addr
+		case OpDMA:
+			if op.Addr, err = binary.ReadUvarint(br); err != nil {
+				return fmt.Errorf("trace: dma src: %w", err)
+			}
+			if op.Addr2, err = binary.ReadUvarint(br); err != nil {
+				return fmt.Errorf("trace: dma dst: %w", err)
+			}
+			sz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: dma size: %w", err)
+			}
+			// Mirror the gap overflow check: silently truncating to
+			// uint32 would decode a corrupt stream into a different
+			// (smaller) workload instead of rejecting it.
+			if sz > uint64(^uint32(0)) {
+				return fmt.Errorf("trace: dma size %d overflows", sz)
+			}
+			op.Size = uint32(sz)
+		case OpPhase:
+			if op.Addr, err = binary.ReadUvarint(br); err != nil {
+				return fmt.Errorf("trace: phase id: %w", err)
+			}
+		case OpBarrier, OpDMAWait, OpGap, OpEnd:
+			// tag only
+		default:
+			return fmt.Errorf("trace: unknown op kind %d", op.Kind)
+		}
+		ops[i] = op
+	}
+	return nil
 }

@@ -20,7 +20,10 @@
 #   - baseline ns/event more than MAX_REGRESSION_PCT (10%) above the last
 #     committed BENCH_replay.json entry
 # The Par1/ParMax sweep ratio is report-only: it depends on host core
-# count, which is not a property of the code under test.
+# count, which is not a property of the code under test. Each sweep entry
+# records gomaxprocs and the host cpu count so a 1.0x "speedup" measured
+# on a single-proc run is legible as such; GOMAXPROCS=1 also prints a
+# warning that the ParMax point degenerates.
 #
 # Usage:  scripts/bench.sh [benchtime]     (default 10x)
 #         BENCH_LABEL=pr5 scripts/bench.sh 20x
@@ -33,6 +36,7 @@ MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-10}"
 LABEL="${BENCH_LABEL:-local}"
 STAMP="$(date -u +%Y-%m-%d)"
+CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 REPLAY_OUT="BENCH_replay.json"
 SWEEP_OUT="BENCH_sweep.json"
 RAW_REPLAY="$(mktemp)"
@@ -125,12 +129,15 @@ awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" -v procs="$GOMAXPROCS" 'BEGIN {
 	printf "== sweep pool: par1 %.0f ns/op, parmax %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d (report-only) ==\n", \
 		p1, pm, p1 / pm, procs
 }'
+if [ "$GOMAXPROCS" -le 1 ]; then
+	echo "== warning: GOMAXPROCS=1 — the ParMax point degenerates to Par1 and the recorded speedup is meaningless; rerun with GOMAXPROCS>1 for a real multi-proc entry =="
+fi
 
 # --- extend both trajectories ---------------------------------------------
 append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s}' \
 	"$LABEL" "$STAMP" "$BENCHTIME" "$BASE_NSEV" "$BASE_EPS" "$BASE_ALLOCS" "${IDLE_NSEV:-0}" "${ACTIVE_NSEV:-0}")"
-append "$SWEEP_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "par1_ns_per_op": %s, "parmax_ns_per_op": %s, "speedup": %s}' \
-	"$LABEL" "$STAMP" "$BENCHTIME" "$GOMAXPROCS" "$PAR1_NSOP" "$PARMAX_NSOP" \
+append "$SWEEP_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "cpus": %s, "par1_ns_per_op": %s, "parmax_ns_per_op": %s, "speedup": %s}' \
+	"$LABEL" "$STAMP" "$BENCHTIME" "$GOMAXPROCS" "$CPUS" "$PAR1_NSOP" "$PARMAX_NSOP" \
 	"$(awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" 'BEGIN { printf "%.3f", p1 / pm }')")"
 
 echo "== wrote $REPLAY_OUT =="

@@ -4,12 +4,15 @@
 # Runs, in order:
 #   1. go build ./...                 compile everything
 #   2. go run ./cmd/nmlint ./...      determinism & concurrency lint suite
-#                                     (incl. simpure: event-callback purity)
-#   3. go vet ./...                   the stock vet checks
-#   4. go test ./...                  full test suite (includes the
+#                                     (incl. simpure: event-callback purity,
+#                                     hotpath: allocation-freedom)
+#   3. nmlint -escape-check           compiler escape analysis cross-check
+#                                     over the //nmlint:hotpath regions
+#   4. go vet ./...                   the stock vet checks
+#   5. go test ./...                  full test suite (includes the
 #                                     record→replay determinism regression)
-#   5. go test -race -short ./...     race detector over the short suite
-#   6. fuzz smoke                     10s of FuzzReadTrace on the trace
+#   6. go test -race -short ./...     race detector over the short suite
+#   7. fuzz smoke                     10s of FuzzReadTrace on the trace
 #                                     decoder (no panics on hostile bytes)
 #
 # Any stage failing fails the whole script. Run from anywhere inside the
@@ -25,6 +28,7 @@ step() {
 
 step go build ./...
 step go run ./cmd/nmlint ./...
+step go run ./cmd/nmlint -escape-check ./...
 step go vet ./...
 step go test ./...
 step go test -race -short ./...
