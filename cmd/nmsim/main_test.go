@@ -33,6 +33,9 @@ func TestValidate(t *testing.T) {
 		{"valid zipf csv", []string{"-dist", "zipf", "-format", "csv"}, ""},
 		{"valid par", []string{"-par", "8"}, ""},
 		{"valid par auto", []string{"-par", "0"}, ""},
+		{"bad shards", []string{"-shards", "-2"}, "-shards"},
+		{"valid shards", []string{"-shards", "4"}, ""},
+		{"valid shards auto", []string{"-shards", "-1"}, ""},
 		{"valid profiles", []string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, ""},
 	}
 	for _, tc := range cases {

@@ -122,6 +122,7 @@ type options struct {
 	faultRates string
 	epoch      string
 	par        int
+	shards     int
 	cpuProfile string
 	memProfile string
 }
@@ -141,6 +142,7 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.StringVar(&o.faultRates, "fault-rates", "", "comma-separated bit error rates for -exp=faults (empty = default axis)")
 	fs.StringVar(&o.epoch, "epoch", "10us", "telemetry sampling epoch for -exp=timeline (e.g. 500ns, 10us)")
 	fs.IntVar(&o.par, "par", 0, "replay worker count; output is byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&o.shards, "shards", 0, "intra-replay event-queue shards; output is byte-identical at any value (0 = sequential engine, -1 = auto)")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	def := fs.Usage
@@ -166,6 +168,8 @@ func (o options) validate() error {
 		return fmt.Errorf("-sp %d MiB must be positive", o.spMiB)
 	case o.par < 0:
 		return fmt.Errorf("-par %d is negative (0 means GOMAXPROCS)", o.par)
+	case o.shards < -1:
+		return fmt.Errorf("-shards %d is invalid (0 = sequential engine, -1 = auto)", o.shards)
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -233,6 +237,7 @@ func run(o options, out io.Writer) error {
 		Threads: o.cores,
 		SP:      units.Bytes(o.spMiB) * units.MiB,
 		Par:     o.par,
+		Shards:  o.shards,
 	}
 	e, _ := findExperiment(o.exp)
 	s, err := e.run(o, w)

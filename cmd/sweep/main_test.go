@@ -30,6 +30,9 @@ func TestValidate(t *testing.T) {
 		{"valid faults", []string{"-exp", "faults", "-fault-rates", "1e-4,1e-3", "-fault-seed", "3"}, ""},
 		{"valid kmeans", []string{"-exp", "kmeans"}, ""},
 		{"valid par", []string{"-par", "4"}, ""},
+		{"bad shards", []string{"-shards", "-3"}, "-shards"},
+		{"valid shards", []string{"-shards", "2"}, ""},
+		{"valid shards auto", []string{"-shards", "-1"}, ""},
 		{"valid profiles", []string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, ""},
 	}
 	for _, tc := range cases {

@@ -199,6 +199,31 @@ func TestRunUntilEmptyAndEarlyDeadline(t *testing.T) {
 	}
 }
 
+// TestRunUntilNowIsLastEventTime pins the documented time contract: after
+// RunUntil returns, Now() is the last *executed* event's time — never the
+// deadline. Callers computing residual or idle time against the window
+// must measure from the deadline they passed, or they count the gap
+// between the last in-window event and the deadline as simulated activity.
+func TestRunUntilNowIsLastEventTime(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	s.At(70, func() {})
+	if s.RunUntil(50) {
+		t.Fatal("an event at 70 remains; the queue must not report drained")
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v after stopping at deadline 50, want 10 (last executed event)", s.Now())
+	}
+	// The same holds on a drained (true) return: the clock stays at the
+	// final event, not at the later deadline.
+	if !s.RunUntil(1000) {
+		t.Fatal("queue should drain")
+	}
+	if s.Now() != 70 {
+		t.Errorf("Now() = %v after drain, want 70", s.Now())
+	}
+}
+
 // TestDeterminism runs the same randomized workload twice and demands
 // identical execution traces — the property the whole simulator depends on.
 func TestDeterminism(t *testing.T) {

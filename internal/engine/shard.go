@@ -1,0 +1,296 @@
+package engine
+
+// Sharded mode: the conservative parallel discrete-event engine.
+//
+// Shard(n, lookahead) partitions the pending-event set into n per-shard
+// queues. The run loop then proceeds in conservative windows: with T the
+// earliest pending timestamp anywhere, every event in (T, T+lookahead] is
+// already scheduled — lookahead is the machine's minimum cross-component
+// latency, so nothing executed at or after T can schedule below the
+// horizon of the *next* window. Each window, every shard drains its
+// inter-shard mailbox into its queue and extracts the batch of events with
+// timestamps <= T+lookahead (both are pure heap maintenance and run in
+// parallel on the Runner); the coordinator then merges the sorted batches
+// by the global (time, seq) order and executes every event body itself.
+//
+// That single-executor merge is what makes byte-identity a construction
+// rather than a test outcome: event bodies run in exactly the order the
+// sequential engine would run them, so seq assignment, telemetry samples,
+// fault-counter keys and every downstream byte match the unsharded engine
+// at any shard/worker/GOMAXPROCS count. The parallelism harvests only the
+// heap work — pushes (mailbox drains) and pops (batch extraction) — which
+// is the queue-maintenance fraction of the replay hot path.
+//
+// Events scheduled during a window land below or above the horizon:
+// above-horizon events append to the owning shard's mailbox (cheap, and
+// parallelized into heap pushes next window); at-or-below-horizon events
+// go to a coordinator-owned overflow heap merged alongside the batches, so
+// in-window causality chains execute in correct global order.
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// timeMax is the end of representable simulated time, used as the
+// "no pending event" sentinel in per-shard minimum tracking.
+const timeMax = units.Time(math.MaxInt64)
+
+// Runner dispatches one window of per-shard work. Do must invoke task(k)
+// exactly once for every shard index k in [0, n) and return only after all
+// invocations complete, with the usual fork-join memory ordering (caller
+// writes before Do are visible to tasks; task writes are visible after Do
+// returns). par.Pool satisfies this when its worker count equals the shard
+// count.
+type Runner interface {
+	Do(task func(k int))
+}
+
+// shardState is the sharded engine's working set. All fields are owned by
+// the coordinating goroutine except the per-shard slots of queues, boxes,
+// boxMin, heads, batch and cursor, which shard k's window task owns for
+// the duration of one dispatch (the Runner's fork-join barrier orders the
+// handoff).
+type shardState struct {
+	n    int        // shard count
+	look units.Time // conservative lookahead (> 0)
+
+	runner Runner // nil: windows run inline on the coordinator
+
+	queues []queue      // per-shard pending events beyond the last horizon
+	boxes  [][]item     // per-shard mailboxes: scheduled, not yet in queues
+	boxMin []units.Time // min timestamp in boxes[k]; timeMax when empty
+	heads  []units.Time // min timestamp in queues[k]; timeMax when empty
+	batch  [][]item     // per-shard sorted events extracted for this window
+	cursor []int        // merge position into batch[k]
+
+	overflow queue // in-window schedules at or below the horizon
+	task     func(int)
+
+	cur     int        // shard of the currently executing event (At routing)
+	horizon units.Time // end of the current window
+	active  bool       // inside a window (schedule() routes by horizon)
+	nq      int        // total pending events across queues, boxes, batches, overflow
+}
+
+// Shard switches a fresh simulator into sharded mode with n shards and the
+// given conservative lookahead. It must be called before any event is
+// scheduled or executed: sharding an in-flight simulation would have to
+// re-partition the queue and is never needed. A sharded simulator runs
+// only through RunBudget; Run, RunUntil and Step panic.
+func (s *Sim) Shard(n int, lookahead units.Time) {
+	if s.sh != nil {
+		panic("engine: Shard on an already sharded simulator")
+	}
+	if n <= 0 {
+		panic("engine: shard count must be positive")
+	}
+	if lookahead <= 0 {
+		panic("engine: lookahead must be positive")
+	}
+	if s.events.len() > 0 || s.now != 0 || s.nRun != 0 {
+		panic("engine: Shard requires a fresh simulator")
+	}
+	sh := &shardState{
+		n:      n,
+		look:   lookahead,
+		queues: make([]queue, n),
+		boxes:  make([][]item, n),
+		boxMin: make([]units.Time, n),
+		heads:  make([]units.Time, n),
+		batch:  make([][]item, n),
+		cursor: make([]int, n),
+	}
+	for k := 0; k < n; k++ {
+		sh.boxMin[k] = timeMax
+		sh.heads[k] = timeMax
+	}
+	sh.task = sh.window
+	s.sh = sh
+}
+
+// Shards returns the shard count, or 0 for an unsharded simulator.
+func (s *Sim) Shards() int {
+	if s.sh == nil {
+		return 0
+	}
+	return s.sh.n
+}
+
+// SetShardRunner installs the parallel dispatcher for window work. With no
+// runner (the default) windows run inline on the coordinating goroutine —
+// same results, no parallelism — so a runner is purely a performance
+// choice and callers own its lifecycle.
+func (s *Sim) SetShardRunner(r Runner) {
+	if s.sh == nil {
+		panic("engine: SetShardRunner on an unsharded simulator")
+	}
+	s.sh.runner = r
+}
+
+// reserve divides a capacity hint evenly across the shard queues.
+func (sh *shardState) reserve(n int) {
+	per := (n + sh.n - 1) / sh.n
+	for k := range sh.queues {
+		q := &sh.queues[k]
+		if per <= cap(q.a) {
+			continue
+		}
+		a := make([]item, len(q.a), per)
+		copy(a, q.a)
+		q.a = a
+	}
+}
+
+// schedule routes a new event: during a window, at-or-below-horizon events
+// join the coordinator's overflow heap (they must execute this window, in
+// merged order); everything else appends to the owning shard's mailbox for
+// the next dispatch to push in parallel.
+//
+//nmlint:hotpath
+func (sh *shardState) schedule(it item, owner int) {
+	sh.nq++
+	if sh.active && it.at <= sh.horizon {
+		sh.overflow.push(it)
+		return
+	}
+	//nmlint:ignore hotpath amortized growth; mailboxes keep their backing arrays across windows
+	sh.boxes[owner] = append(sh.boxes[owner], it)
+	if it.at < sh.boxMin[owner] {
+		sh.boxMin[owner] = it.at
+	}
+}
+
+// window is the per-shard dispatch task: drain the mailbox into the queue,
+// then extract this window's sorted batch. Runs concurrently with the
+// other shards' windows, touching only shard k's slots.
+//
+//nmlint:hotpath
+func (sh *shardState) window(k int) {
+	q := &sh.queues[k]
+	box := sh.boxes[k]
+	for i, it := range box {
+		q.push(it)
+		box[i] = item{} // drop the closure reference from the retained array
+	}
+	sh.boxes[k] = box[:0]
+	sh.boxMin[k] = timeMax
+	b := sh.batch[k][:0]
+	for {
+		head, ok := q.peek()
+		if !ok || head.at > sh.horizon {
+			break
+		}
+		q.pop()
+		//nmlint:ignore hotpath amortized growth; batch buffers keep their backing arrays across windows
+		b = append(b, head)
+	}
+	sh.batch[k] = b
+	sh.cursor[k] = 0
+	if head, ok := q.peek(); ok {
+		sh.heads[k] = head.at
+	} else {
+		sh.heads[k] = timeMax
+	}
+}
+
+// dispatch runs every shard's window task, in parallel when a runner is
+// installed. Not a hot path: it is called once per conservative window,
+// not per event, and the runner handoff is channel-based by design.
+func (sh *shardState) dispatch() {
+	if sh.runner != nil {
+		sh.runner.Do(sh.task)
+		return
+	}
+	for k := 0; k < sh.n; k++ {
+		sh.window(k)
+	}
+}
+
+// runSharded is RunBudget's sharded body: the conservative window loop.
+// Budget and stall semantics match the sequential path exactly — the
+// budget is checked before each event body, the abort carries the true
+// pending count, and a later RunBudget call resumes mid-window.
+func (s *Sim) runSharded(maxEvents uint64) (units.Time, error) {
+	sh := s.sh
+	var ran uint64
+	if sh.active {
+		// A previous call aborted on budget mid-window; finish that window
+		// before opening a new one.
+		if err := s.execWindow(maxEvents, &ran); err != nil {
+			return s.now, err
+		}
+		sh.active = false
+	}
+	for sh.nq > 0 {
+		t := timeMax
+		for k := 0; k < sh.n; k++ {
+			if sh.heads[k] < t {
+				t = sh.heads[k]
+			}
+			if sh.boxMin[k] < t {
+				t = sh.boxMin[k]
+			}
+		}
+		horizon := t + sh.look
+		if horizon < t { // saturate instead of wrapping past the end of time
+			horizon = timeMax
+		}
+		sh.horizon = horizon
+		sh.dispatch()
+		sh.active = true
+		if err := s.execWindow(maxEvents, &ran); err != nil {
+			return s.now, err
+		}
+		sh.active = false
+	}
+	if st := s.Stalled(); st != nil {
+		return s.now, st
+	}
+	return s.now, nil
+}
+
+// execWindow merges the shards' sorted batches and the overflow heap by
+// the global (time, seq) order and fires each event — the sequential
+// engine's execution order, reproduced exactly. K is small (shard count),
+// so the linear scan over batch heads beats a merge heap.
+//
+//nmlint:hotpath
+func (s *Sim) execWindow(maxEvents uint64, ran *uint64) error {
+	sh := s.sh
+	for {
+		best := -1
+		var bi item
+		for k := 0; k < sh.n; k++ {
+			if sh.cursor[k] < len(sh.batch[k]) {
+				it := sh.batch[k][sh.cursor[k]]
+				if best < 0 || before(it, bi) {
+					best, bi = k, it
+				}
+			}
+		}
+		fromOverflow := false
+		if ov, ok := sh.overflow.peek(); ok && (best < 0 || before(ov, bi)) {
+			fromOverflow, bi = true, ov
+		}
+		if best < 0 && !fromOverflow {
+			return nil
+		}
+		if *ran >= maxEvents {
+			return &BudgetError{MaxEvents: maxEvents, LastEventAt: s.lastAt, Pending: sh.nq}
+		}
+		if fromOverflow {
+			sh.overflow.pop()
+			// sh.cur keeps the previous event's shard: overflow events have
+			// no batch home, and routing only balances load, never order.
+		} else {
+			sh.batch[best][sh.cursor[best]] = item{} // drop the closure reference
+			sh.cursor[best]++
+			sh.cur = best
+		}
+		sh.nq--
+		s.fire(bi)
+		*ran++
+	}
+}

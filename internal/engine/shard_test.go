@@ -1,0 +1,305 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// stormLog records an execution trace precise enough that equality implies
+// byte-identity of anything derived from the run: per event it captures
+// (time, id); for the run it captures sampler boundaries and final clocks.
+type stormLog struct {
+	events  []string
+	samples []units.Time
+}
+
+// scheduleStorm drives s through a seed-determined cascade: n root events,
+// each of which schedules a few children at pseudo-random offsets — some
+// zero-delay (FIFO tie-break stress), some inside a typical lookahead
+// window, some far beyond it — across pseudo-random shards when sharded.
+// The cascade is a pure function of the seed and the engine's execution
+// order, so two engines that execute in the same order produce equal logs.
+func scheduleStorm(s *Sim, seed uint64, n, shards int) *stormLog {
+	home := shards
+	if home < 1 {
+		home = 1
+	}
+	log := &stormLog{}
+	var grow func(id, depth int) Event
+	grow = func(id, depth int) Event {
+		return func() {
+			log.events = append(log.events, fmt.Sprintf("%d@%v", id, s.Now()))
+			if depth >= 3 {
+				return
+			}
+			r := xrand.New(seed + uint64(id))
+			kids := int(r.Uint64n(3))
+			for c := 0; c < kids; c++ {
+				kid := id*7 + c + 1
+				d := units.Time(r.Uint64n(120)) // 0..119ns: straddles a 40ns-ish lookahead
+				cross := r.Uint64n(2) == 0      // drawn unconditionally: same stream in both modes
+				sidx := int(r.Uint64n(64)) % home
+				if cross {
+					s.AtShard(sidx, s.Now()+d, grow(kid, depth+1))
+				} else {
+					s.After(d, grow(kid, depth+1))
+				}
+			}
+		}
+	}
+	r := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		at := units.Time(r.Uint64n(500))
+		s.AtShard(i%home, at, grow(i+1000, 0))
+	}
+	return log
+}
+
+func runStorm(t *testing.T, shards, workers int, seed uint64) (*stormLog, *Sim) {
+	t.Helper()
+	s := New()
+	if shards > 0 {
+		s.Shard(shards, 40)
+	}
+	var pool *par.Pool
+	if shards > 0 && workers > 1 {
+		pool = par.NewPool(shards)
+		defer pool.Close()
+		s.SetShardRunner(pool)
+	}
+	log := scheduleStorm(s, seed, 32, shards)
+	s.SetSampler(100, func(b units.Time) { log.samples = append(log.samples, b) })
+	if _, err := s.RunBudget(1 << 20); err != nil {
+		t.Fatalf("RunBudget(shards=%d): %v", shards, err)
+	}
+	return log, s
+}
+
+// TestShardedMatchesSequential is the engine-level identity check: the
+// sharded engine must execute the same cascade in the same order with the
+// same sampler boundaries as the sequential engine, for every shard count
+// and with or without a parallel runner.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		ref, refSim := runStorm(t, 0, 1, seed)
+		for _, shards := range []int{1, 2, 3, 4, 8} {
+			for _, workers := range []int{1, 2} {
+				got, gotSim := runStorm(t, shards, workers, seed)
+				if len(got.events) != len(ref.events) {
+					t.Fatalf("seed %d shards %d workers %d: %d events, want %d",
+						seed, shards, workers, len(got.events), len(ref.events))
+				}
+				for i := range ref.events {
+					if got.events[i] != ref.events[i] {
+						t.Fatalf("seed %d shards %d workers %d: event %d = %q, want %q",
+							seed, shards, workers, i, got.events[i], ref.events[i])
+					}
+				}
+				if fmt.Sprint(got.samples) != fmt.Sprint(ref.samples) {
+					t.Fatalf("seed %d shards %d workers %d: samples %v, want %v",
+						seed, shards, workers, got.samples, ref.samples)
+				}
+				if gotSim.Now() != refSim.Now() || gotSim.Executed() != refSim.Executed() {
+					t.Fatalf("seed %d shards %d workers %d: final (now=%v, executed=%d), want (%v, %d)",
+						seed, shards, workers, gotSim.Now(), gotSim.Executed(), refSim.Now(), refSim.Executed())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBudgetMatchesSequential checks that the budget abort carries
+// identical observables (Now, LastEventAt, Pending) in both modes and that
+// a follow-up RunBudget resumes a sharded run mid-window to the same final
+// state as the sequential engine.
+func TestShardedBudgetMatchesSequential(t *testing.T) {
+	for _, budget := range []uint64{0, 1, 17, 64} {
+		seq := New()
+		scheduleStorm(seq, 42, 32, 0)
+		_, seqErr := seq.RunBudget(budget)
+		shr := New()
+		shr.Shard(4, 40)
+		scheduleStorm(shr, 42, 32, 4)
+		_, shrErr := shr.RunBudget(budget)
+
+		var seqBE, shrBE *BudgetError
+		if !errors.As(seqErr, &seqBE) || !errors.As(shrErr, &shrBE) {
+			t.Fatalf("budget %d: errors (%v, %v), want BudgetError from both", budget, seqErr, shrErr)
+		}
+		if shr.Now() != seq.Now() || shrBE.LastEventAt != seqBE.LastEventAt || shrBE.Pending != seqBE.Pending {
+			t.Fatalf("budget %d: sharded abort (now=%v, last=%v, pending=%d), want (%v, %v, %d)",
+				budget, shr.Now(), shrBE.LastEventAt, shrBE.Pending,
+				seq.Now(), seqBE.LastEventAt, seqBE.Pending)
+		}
+		if shr.Pending() != seq.Pending() {
+			t.Fatalf("budget %d: Pending() %d, want %d", budget, shr.Pending(), seq.Pending())
+		}
+		// Resume both to completion: the sharded engine finishes its
+		// interrupted window first, then keeps windowing.
+		if _, err := seq.RunBudget(1 << 20); err != nil {
+			t.Fatalf("sequential resume: %v", err)
+		}
+		if _, err := shr.RunBudget(1 << 20); err != nil {
+			t.Fatalf("sharded resume: %v", err)
+		}
+		if shr.Now() != seq.Now() || shr.Executed() != seq.Executed() || shr.Pending() != 0 {
+			t.Fatalf("budget %d resume: sharded (now=%v, executed=%d, pending=%d), want (%v, %d, 0)",
+				budget, shr.Now(), shr.Executed(), shr.Pending(), seq.Now(), seq.Executed())
+		}
+	}
+}
+
+// TestShardedStallDetection: the watchdog cross-check runs on sharded
+// drain exactly as on sequential drain.
+func TestShardedStallDetection(t *testing.T) {
+	s := New()
+	s.Shard(2, 10)
+	out := 1
+	s.Watch("dangling", nil, func() int { return out })
+	s.AtShard(1, 5, func() { out = 1 }) // completes but leaves work outstanding
+	_, err := s.RunBudget(100)
+	var st *StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("RunBudget = %v, want StallError", err)
+	}
+	if len(st.Stalls) != 1 || st.Stalls[0].Component != "dangling" {
+		t.Fatalf("stalls = %+v, want one for dangling", st.Stalls)
+	}
+}
+
+// TestShardedSamplerMidRunInstall: installing the sampler after time has
+// advanced starts at the next boundary >= Now() in both modes (the
+// SetSampler regression), not at boundary zero.
+func TestShardedSamplerMidRunInstall(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		s := New()
+		if shards > 0 {
+			s.Shard(shards, 10)
+		}
+		s.At(250, func() {})
+		if _, err := s.RunBudget(10); err != nil {
+			t.Fatal(err)
+		}
+		var got []units.Time
+		s.SetSampler(100, func(b units.Time) { got = append(got, b) })
+		s.At(460, func() {})
+		if _, err := s.RunBudget(10); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprint([]units.Time{300, 400})
+		if fmt.Sprint(got) != want {
+			t.Fatalf("shards=%d: mid-run sampler boundaries %v, want %v", shards, got, want)
+		}
+	}
+}
+
+// TestSamplerInstallOnBoundary: a mid-run install with Now() exactly on a
+// boundary must still sample that boundary (state at it is still current).
+func TestSamplerInstallOnBoundary(t *testing.T) {
+	s := New()
+	s.At(200, func() {})
+	if _, err := s.RunBudget(10); err != nil {
+		t.Fatal(err)
+	}
+	var got []units.Time
+	s.SetSampler(100, func(b units.Time) { got = append(got, b) })
+	s.At(210, func() {})
+	if _, err := s.RunBudget(10); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]units.Time{200}) {
+		t.Fatalf("boundaries %v, want [200]", got)
+	}
+}
+
+// TestShardGuards covers every sharded-mode precondition panic.
+func TestShardGuards(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Shard(0)", func() { New().Shard(0, 10) })
+	expectPanic("Shard lookahead 0", func() { New().Shard(2, 0) })
+	expectPanic("Shard twice", func() { s := New(); s.Shard(2, 10); s.Shard(2, 10) })
+	expectPanic("Shard with pending events", func() { s := New(); s.At(1, func() {}); s.Shard(2, 10) })
+	expectPanic("Shard after time advanced", func() {
+		s := New()
+		s.At(1, func() {})
+		s.Run()
+		s.Shard(2, 10)
+	})
+	expectPanic("Run on sharded", func() { s := New(); s.Shard(2, 10); s.Run() })
+	expectPanic("RunUntil on sharded", func() { s := New(); s.Shard(2, 10); s.RunUntil(5) })
+	expectPanic("Step on sharded", func() { s := New(); s.Shard(2, 10); s.Step() })
+	expectPanic("AtShard out of range", func() { s := New(); s.Shard(2, 10); s.AtShard(2, 0, func() {}) })
+	expectPanic("AtShard negative", func() { s := New(); s.Shard(2, 10); s.AtShard(-1, 0, func() {}) })
+	expectPanic("AtShard into the past", func() {
+		s := New()
+		s.Shard(2, 10)
+		s.AtShard(0, 5, func() { s.AtShard(1, 2, func() {}) })
+		s.RunBudget(10)
+	})
+	expectPanic("SetShardRunner unsharded", func() { New().SetShardRunner(par.NewPool(1)) })
+}
+
+// TestAtShardUnsharded: on a sequential simulator AtShard is exactly At,
+// so machine code can route unconditionally.
+func TestAtShardUnsharded(t *testing.T) {
+	s := New()
+	ran := false
+	s.AtShard(3, 7, func() { ran = true }) // shard index ignored
+	if got := s.Run(); got != 7 || !ran {
+		t.Fatalf("Run = %v (ran=%v), want 7 with event executed", got, ran)
+	}
+}
+
+// TestShardedReserve: capacity hints split across shard queues without
+// losing queued items.
+func TestShardedReserve(t *testing.T) {
+	s := New()
+	s.Shard(4, 10)
+	s.Reserve(1000)
+	n := 0
+	for i := 0; i < 40; i++ {
+		s.AtShard(i%4, units.Time(i), func() { n++ })
+	}
+	s.Reserve(2000) // grow again with events pending in mailboxes
+	if s.Pending() != 40 {
+		t.Fatalf("Pending = %d, want 40", s.Pending())
+	}
+	if _, err := s.RunBudget(100); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("executed %d events, want 40", n)
+	}
+}
+
+// TestShardedRunnerPanicSurfaces: a panic inside an event body must reach
+// the RunBudget caller even with a parallel runner installed (the panic
+// fires on the coordinator, not a worker — but the pool must not swallow
+// window-task failures either).
+func TestShardedRunnerPanicSurfaces(t *testing.T) {
+	s := New()
+	s.Shard(2, 10)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	s.SetShardRunner(pool)
+	s.AtShard(1, 5, func() { panic("event-boom") })
+	defer func() {
+		if r := recover(); r != "event-boom" {
+			t.Fatalf("recovered %v, want event-boom", r)
+		}
+	}()
+	s.RunBudget(10)
+}

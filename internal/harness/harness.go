@@ -66,6 +66,14 @@ type Workload struct {
 	// its pre-assigned slot, so output stays byte-identical at any value.
 	// 0 means GOMAXPROCS; 1 forces sequential replay.
 	Par int
+
+	// Shards selects the intra-replay parallel engine for every replay the
+	// workload drives (machine.Config.Shards): 0 keeps the sequential
+	// engine, a positive count shards each replay's event queue, negative
+	// picks min(groups, GOMAXPROCS). Orthogonal to Par — Par spreads sweep
+	// points across replays, Shards parallelizes inside each one — and,
+	// like Par, byte-neutral: results are identical at any value.
+	Shards int
 }
 
 // DefaultWorkload returns the scaled Table I workload: the paper sorts 10M
@@ -208,6 +216,7 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 		cfg := NodeFor(w.Threads, ch, w.SP)
 		cfg.Fault = fc
 		cfg.MaxEvents = w.MaxEvents
+		cfg.Shards = w.Shards
 		jobs[i] = replayJob{cfg: cfg, tr: traces[i]}
 	}
 	outs := runReplays(replayPar(w.Par, len(jobs)), jobs)

@@ -24,6 +24,7 @@ func RunTimeline(alg Algorithm, w Workload, nearChannels int, epoch units.Time, 
 	tel := telemetry.New(epoch)
 	cfg := NodeFor(w.Threads, nearChannels, w.SP)
 	cfg.MaxEvents = w.MaxEvents
+	cfg.Shards = w.Shards
 	cfg.Fault = fc
 	cfg.Telemetry = tel
 	res, _, err := runTolerant(cfg, rec.Trace)
@@ -49,6 +50,7 @@ func TimelineSweep(w Workload, nearChannels int, epoch units.Time) (Sweep, error
 		}
 		cfg := NodeFor(w.Threads, nearChannels, w.SP)
 		cfg.MaxEvents = w.MaxEvents
+		cfg.Shards = w.Shards
 		// Each point owns a private recorder (they are single-use, like
 		// machines), so telemetry-instrumented replays pool like any other.
 		cfg.Telemetry = telemetry.New(epoch)

@@ -104,22 +104,37 @@ func runSimPure(u *Unit, report ReportFunc) {
 	}
 	inspect(u, true, func(f *ast.File, n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 2 || !c.isSchedule(call) {
+		if !ok || !c.isSchedule(call) {
 			return true
 		}
-		c.checkCallback(call.Args[1])
+		// The callback is the last argument on every schedule method:
+		// At(t, fn), After(d, fn), AtShard(shard, t, fn).
+		c.checkCallback(call.Args[len(call.Args)-1])
 		return true
 	})
 }
 
-// isSchedule reports whether call invokes (*engine.Sim).At or .After.
+// isSchedule reports whether call invokes (*engine.Sim).At, .After, or
+// .AtShard with its expected argument count.
 func (c *simpureChecker) isSchedule(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	fn, ok := c.u.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || (fn.Name() != "At" && fn.Name() != "After") {
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "At", "After":
+		if len(call.Args) != 2 {
+			return false
+		}
+	case "AtShard":
+		if len(call.Args) != 3 {
+			return false
+		}
+	default:
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -18,6 +18,7 @@ type core struct {
 	m      *Machine
 	id     int
 	group  int
+	shard  int // home shard on the sharded engine (0 when sequential)
 	stream []trace.Op
 	pc     int
 	period units.Time
@@ -217,7 +218,10 @@ func (b *barrierCtl) arrive(c *core) {
 		}
 	}
 	for _, w := range released {
-		c.m.sim.At(now, w.runEv)
+		// A release is a cross-shard handoff: the wake executes on behalf
+		// of the released core, so route it to that core's home shard
+		// rather than letting every wake pile onto the last arriver's.
+		c.m.sim.AtShard(w.shard, now, w.runEv)
 	}
 	// Recycle the buffers for the next cycle: every release is fully walked
 	// above (only the scheduled runEv values outlive this call), so the next

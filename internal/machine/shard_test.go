@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// shardTestTrace builds a dense multi-threaded trace with every op kind —
+// fills, posted writes, atomics, barriers, DMA with and without waits —
+// so a sharded replay exercises every cross-shard path: barrier wakes,
+// DMA completions, posted-write drains.
+func shardTestTrace(t *testing.T, seed uint64, ops, threads int) *trace.Trace {
+	t.Helper()
+	r := xrand.New(seed)
+	raw := make([]uint32, ops)
+	for i := range raw {
+		raw[i] = uint32(r.Uint64())
+	}
+	tr := randomTrace(raw, threads, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	return tr
+}
+
+// resultKey flattens every field of a Result that could diverge if event
+// order did. Equality of keys across shard counts is the machine-level
+// byte-identity check.
+func resultKey(res Result) string {
+	return fmt.Sprintf("%v|%d|%d|%+v|%+v|%+v|%.9f|%.9f|%.9f|%d|%d|%d|%+v|%+v|%v",
+		res.SimTime, res.FarAccesses, res.NearAccesses,
+		res.FarStats, res.NearStats, res.L2,
+		res.FarUtilization, res.NearUtilization, res.NoCUtilization,
+		res.DMACopies, res.DMABytes, res.Events,
+		res.Phases, res.Faults, res.BarrierTimes)
+}
+
+// TestShardedReplayMatchesSequential replays identical traces on the
+// sequential engine and on every shard count, requiring every Result
+// field to match exactly.
+func TestShardedReplayMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		tr := shardTestTrace(t, seed, 4000, 8)
+		mk := func(shards int) Config {
+			cfg := TinyConfig(8, 2*units.MiB)
+			cfg.Shards = shards
+			return cfg
+		}
+		ref, err := New(mk(0)).Replay(tr)
+		if err != nil {
+			t.Fatalf("sequential replay: %v", err)
+		}
+		want := resultKey(ref)
+		for _, shards := range []int{1, 2, 7, -1} {
+			res, err := New(mk(shards)).Replay(tr)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if got := resultKey(res); got != want {
+				t.Errorf("seed %d shards %d: result diverged\n got %s\nwant %s", seed, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedReplayWithFaults repeats the identity check with an active
+// fault injector: injection is counter-keyed, so fault counters and fault
+// timestamps must match the sequential engine bit for bit.
+func TestShardedReplayWithFaults(t *testing.T) {
+	tr := shardTestTrace(t, 5, 3000, 8)
+	mk := func(shards int) Config {
+		cfg := TinyConfig(8, 2*units.MiB)
+		cfg.Fault = fault.Profile(1234, 1e-3)
+		cfg.Shards = shards
+		return cfg
+	}
+	ref, refErr := New(mk(0)).Replay(tr)
+	want := resultKey(ref)
+	for _, shards := range []int{2, -1} {
+		res, err := New(mk(shards)).Replay(tr)
+		if fmt.Sprint(err) != fmt.Sprint(refErr) {
+			t.Fatalf("shards %d: err %v, want %v", shards, err, refErr)
+		}
+		if got := resultKey(res); got != want {
+			t.Errorf("shards %d: faulted result diverged\n got %s\nwant %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardedReplayBudget: the runaway guard must trip identically — same
+// error text (event counts, times, pending) — on both engines.
+func TestShardedReplayBudget(t *testing.T) {
+	tr := shardTestTrace(t, 9, 2000, 8)
+	mk := func(shards int) Config {
+		cfg := TinyConfig(8, 2*units.MiB)
+		cfg.MaxEvents = 500
+		cfg.Shards = shards
+		return cfg
+	}
+	_, refErr := New(mk(0)).Replay(tr)
+	if refErr == nil {
+		t.Fatal("budget of 500 did not trip on the reference replay")
+	}
+	_, err := New(mk(4)).Replay(tr)
+	if fmt.Sprint(err) != fmt.Sprint(refErr) {
+		t.Fatalf("sharded budget error %q, want %q", err, refErr)
+	}
+}
+
+// TestResolveShards pins the auto/clamp policy.
+func TestResolveShards(t *testing.T) {
+	cases := []struct {
+		shards, groups, want int
+	}{
+		{0, 8, 0},  // sequential stays sequential
+		{1, 8, 1},  // explicit single shard uses the sharded engine
+		{4, 8, 4},  // explicit count
+		{16, 8, 8}, // clamped to groups
+		{-1, 1, 1}, // auto never exceeds groups
+	}
+	for _, c := range cases {
+		if got := resolveShards(c.shards, c.groups); got != c.want {
+			t.Errorf("resolveShards(%d, %d) = %d, want %d", c.shards, c.groups, got, c.want)
+		}
+	}
+	if got := resolveShards(-1, 1<<20); got < 1 || got > 1<<20 {
+		t.Errorf("auto resolveShards = %d, want within [1, groups]", got)
+	}
+}
+
+// TestShardLookaheadPositive: the derived window must be positive for the
+// paper and tiny configurations, or Shard() would reject it.
+func TestShardLookaheadPositive(t *testing.T) {
+	for _, cfg := range []Config{TinyConfig(8, 2*units.MiB), PaperConfig(16, 128*units.MiB)} {
+		if la := cfg.shardLookahead(); la <= 0 {
+			t.Errorf("shardLookahead = %v, want > 0", la)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryWorkerEveryDispatch checks the fork-join contract over
+// many reuses: each Do runs exactly one task per worker index.
+func TestPoolRunsEveryWorkerEveryDispatch(t *testing.T) {
+	const k, rounds = 4, 100
+	p := NewPool(k)
+	defer p.Close()
+	counts := make([]int64, k)
+	for r := 0; r < rounds; r++ {
+		p.Do(func(i int) { atomic.AddInt64(&counts[i], 1) })
+	}
+	for i, c := range counts {
+		if c != rounds {
+			t.Errorf("worker %d ran %d tasks, want %d", i, c, rounds)
+		}
+	}
+}
+
+// TestPoolHappensBefore verifies the barrier property Do documents: plain
+// (non-atomic) writes by the caller are visible to tasks, and task writes
+// are visible after Do returns. Run under -race this is a real check, not
+// just an assertion.
+func TestPoolHappensBefore(t *testing.T) {
+	const k = 3
+	p := NewPool(k)
+	defer p.Close()
+	in := make([]int, k)
+	out := make([]int, k)
+	for r := 1; r <= 50; r++ {
+		for i := range in {
+			in[i] = r * (i + 1)
+		}
+		p.Do(func(i int) { out[i] = in[i] * 2 })
+		for i := range out {
+			if out[i] != 2*r*(i+1) {
+				t.Fatalf("round %d worker %d: out = %d, want %d", r, i, out[i], 2*r*(i+1))
+			}
+		}
+	}
+}
+
+// TestPoolPanicPropagates requires a task panic to surface on the Do
+// caller — deterministically the lowest failed worker index — while the
+// pool stays usable for the next dispatch.
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Do did not propagate the task panic")
+			}
+			if r != "boom-1" {
+				t.Fatalf("Do panicked with %v, want boom-1 (lowest failed worker)", r)
+			}
+		}()
+		p.Do(func(i int) {
+			if i == 1 || i == 3 {
+				panic("boom-" + string(rune('0'+i)))
+			}
+		})
+	}()
+	// The pool must have fully joined and recovered: a clean dispatch works.
+	var n int64
+	p.Do(func(int) { atomic.AddInt64(&n, 1) })
+	if n != 4 {
+		t.Fatalf("post-panic dispatch ran %d tasks, want 4", n)
+	}
+}
+
+// TestPoolCloseIdempotentAndGuarded covers the lifecycle edges.
+func TestPoolCloseIdempotentAndGuarded(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Do on a closed pool did not panic")
+		}
+	}()
+	p.Do(func(int) {})
+}
+
+// TestPoolSingleWorker degenerates to sequential execution.
+func TestPoolSingleWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	sum := 0
+	p.Do(func(i int) { sum += i + 7 })
+	if sum != 7 {
+		t.Fatalf("sum = %d, want 7", sum)
+	}
+}

@@ -38,17 +38,39 @@ const (
 	// maxPhaseNames bounds the phase table a hostile stream can request;
 	// real traces mark a handful of phases.
 	maxPhaseNames = 1 << 12
+
+	// maxThreads bounds the thread count on both sides of the format: the
+	// reader rejects hostile headers above it, and the writer refuses to
+	// produce a stream the reader would reject.
+	maxThreads = 1 << 20
 )
 
 const (
-	tagKindMask  = 0x0f
-	tagWrite     = 0x10 // OpAccess direction
-	tagHasGap    = 0x20 // a uvarint gap follows
-	tagSmallAddr = 0x40 // address delta fits in a varint (always set; reserved)
+	tagKindMask = 0x0f
+	tagWrite    = 0x10 // OpAccess direction
+	tagHasGap   = 0x20 // a uvarint gap follows
+
+	// tagReserved covers the two remaining flag bits. Bit 0x40 was once
+	// described as a small-address marker that was "always set", but no
+	// writer ever emitted it; both bits are now explicitly reserved and
+	// must be zero. The reader rejects streams that set them, so a future
+	// format revision can assign them without old readers silently
+	// misdecoding the new streams.
+	tagReserved = 0xc0
 )
 
-// WriteTo serializes the trace. It returns the bytes written.
+// WriteTo serializes the trace. It returns the bytes written. A trace
+// with zero threads (or an implausibly large thread count) is rejected
+// here, with nothing written: ReadTrace refuses such headers, so
+// serializing one would only manufacture an unreadable file whose failure
+// surfaces at the far end of the pipeline instead of at the writer.
 func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	if len(tr.Streams) == 0 {
+		return 0, fmt.Errorf("trace: refusing to serialize a trace with no threads")
+	}
+	if len(tr.Streams) > maxThreads {
+		return 0, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", len(tr.Streams), maxThreads)
+	}
 	cw := &countingWriter{w: w, crc: crc64.New(crcTable)}
 	bw := bufio.NewWriterSize(cw, 1<<20)
 
@@ -182,7 +204,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	// checking before allocating keeps a hostile header from forcing a
 	// huge allocation.
 	threads := hdr[8]
-	if threads <= 0 || threads > 1<<20 || threads > int64(br.Len())/8 {
+	if threads <= 0 || threads > maxThreads || threads > int64(br.Len())/8 {
 		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
 	}
 	tr := &Trace{
@@ -258,6 +280,9 @@ func decodeOps(br *bytes.Reader, ops []Op, t int64) error {
 		tag, err := br.ReadByte()
 		if err != nil {
 			return fmt.Errorf("trace: thread %d op %d: %w", t, i, err)
+		}
+		if tag&tagReserved != 0 {
+			return fmt.Errorf("trace: thread %d op %d: reserved tag bits %#x set", t, i, tag&tagReserved)
 		}
 		op := Op{Kind: Kind(tag & tagKindMask), Write: tag&tagWrite != 0}
 		if tag&tagHasGap != 0 {

@@ -241,3 +241,79 @@ func TestSerializeCompact(t *testing.T) {
 		t.Errorf("%.1f bytes/op; delta encoding should be well under 8 for streams", perOp)
 	}
 }
+
+// TestWriteToRejectsZeroThreads: the writer mirrors the reader's
+// plausibility check. A zero-thread trace fails at write time with
+// nothing written, instead of producing a stream ReadTrace rejects at
+// the far end of the pipeline.
+func TestWriteToRejectsZeroThreads(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := (&Trace{Costs: DefaultCosts(), L1: tinyL1()}).WriteTo(&buf)
+	if err == nil || !strings.Contains(err.Error(), "no threads") {
+		t.Fatalf("WriteTo with zero threads: err = %v, want refusal", err)
+	}
+	if n != 0 || buf.Len() != 0 {
+		t.Fatalf("WriteTo wrote %d bytes (reported %d) before refusing", buf.Len(), n)
+	}
+}
+
+// TestRoundTripThreadBoundary covers the smallest serializable trace —
+// one thread — right at the boundary the reader polices.
+func TestRoundTripThreadBoundary(t *testing.T) {
+	rec := NewRecorder(1, tinyL1(), DefaultCosts())
+	rec.Thread(0).Load(addr.FarBase, 8)
+	tr := rec.Finish()
+	got := roundTrip(t, tr)
+	if len(got.Streams) != 1 {
+		t.Fatalf("round-tripped %d streams, want 1", len(got.Streams))
+	}
+	for i := range tr.Streams[0] {
+		if got.Streams[0][i] != tr.Streams[0][i] {
+			t.Fatalf("op %d: %+v vs %+v", i, got.Streams[0][i], tr.Streams[0][i])
+		}
+	}
+}
+
+// taggedStream hand-assembles a checksummed single-thread stream whose one
+// op carries the given raw tag byte — the writer can never emit reserved
+// bits, so exercising the reader's rejection needs a byte-level stream.
+func taggedStream(t *testing.T, tag byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	hdr := []int64{traceVersion, 1, 3, 30, 20, 256, 64, 2, 1}
+	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
+		t.Fatal(err)
+	}
+	// Empty v2 phase-name table, then the one-op stream length.
+	for _, n := range []int64{0, 1} {
+		if err := binary.Write(&buf, binary.LittleEndian, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteByte(tag)
+	sum := crc64.Checksum(buf.Bytes(), crcTable)
+	if err := binary.Write(&buf, binary.LittleEndian, sum); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSerializeRejectsReservedTagBits: a stream setting either reserved
+// flag bit is rejected even under a valid checksum, so the bits stay free
+// for a future format revision. The same op without the bits decodes.
+func TestSerializeRejectsReservedTagBits(t *testing.T) {
+	for _, bits := range []byte{0x40, 0x80, 0xc0} {
+		_, err := ReadTrace(bytes.NewReader(taggedStream(t, byte(OpEnd)|bits)))
+		if err == nil || !strings.Contains(err.Error(), "reserved tag bits") {
+			t.Errorf("tag bits %#x: want reserved-bit rejection, got %v", bits, err)
+		}
+	}
+	got, err := ReadTrace(bytes.NewReader(taggedStream(t, byte(OpEnd))))
+	if err != nil {
+		t.Fatalf("control stream rejected: %v", err)
+	}
+	if op := got.Streams[0][0]; op.Kind != OpEnd {
+		t.Errorf("decoded op = %+v, want OpEnd", op)
+	}
+}

@@ -5,8 +5,9 @@
 # trajectories next to the repo root:
 #
 #   BenchmarkReplay*      (root)             -> BENCH_replay.json
-#       baseline replay, telemetry idle, telemetry actively sampling;
-#       the per-event cost of the simulation kernel itself.
+#       baseline replay, telemetry idle, telemetry actively sampling, and
+#       the intra-replay sharded engine at 1 and 4 shards; the per-event
+#       cost of the simulation kernel itself.
 #   BenchmarkSweepTable1* (internal/harness) -> BENCH_sweep.json
 #       the Table I replay batch through the sweep worker pool at one
 #       worker and at GOMAXPROCS; the wall-clock win of -par.
@@ -19,11 +20,12 @@
 #   - idle-telemetry overhead vs. the bare replay >= MAX_OVERHEAD_PCT (5%)
 #   - baseline ns/event more than MAX_REGRESSION_PCT (10%) above the last
 #     committed BENCH_replay.json entry
-# The Par1/ParMax sweep ratio is report-only: it depends on host core
-# count, which is not a property of the code under test. Each sweep entry
-# records gomaxprocs and the host cpu count so a 1.0x "speedup" measured
-# on a single-proc run is legible as such; GOMAXPROCS=1 also prints a
-# warning that the ParMax point degenerates.
+# The Par1/ParMax sweep ratio and the Shards1/Shards4 intra-replay ratio
+# are report-only: they depend on host core count, which is not a property
+# of the code under test. Each entry records gomaxprocs and the host cpu
+# count so a 1.0x "speedup" measured on a single-proc run is legible as
+# such; GOMAXPROCS=1 also prints a warning that the ParMax and Shards4
+# points degenerate.
 #
 # Usage:  scripts/bench.sh [benchtime]     (default 10x)
 #         BENCH_LABEL=pr5 scripts/bench.sh 20x
@@ -73,9 +75,10 @@ append() {
 
 # --- parse the replay family ---------------------------------------------
 # "BenchmarkReplayX-N  iters  T ns/op  ...  V ns/event ...  A allocs/op"
-read -r BASE_NSOP BASE_NSEV BASE_EPS BASE_ALLOCS IDLE_NSOP IDLE_NSEV ACTIVE_NSEV < <(awk '
+read -r BASE_NSOP BASE_NSEV BASE_EPS BASE_ALLOCS IDLE_NSOP IDLE_NSEV ACTIVE_NSEV SH1_NSOP SH4_NSOP REPLAY_PROCS < <(awk '
 /^BenchmarkReplay/ {
 	name = $1
+	if (match(name, /-[0-9]+$/)) procs = substr(name, RSTART + 1)
 	sub(/-[0-9]+$/, "", name)
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op")      nsop[name] = $i
@@ -86,8 +89,10 @@ read -r BASE_NSOP BASE_NSEV BASE_EPS BASE_ALLOCS IDLE_NSOP IDLE_NSEV ACTIVE_NSEV
 }
 END {
 	b = "BenchmarkReplayBaseline"; i = "BenchmarkReplayTelemetryIdle"; a = "BenchmarkReplayTelemetryActive"
+	s1 = "BenchmarkReplayShards1"; s4 = "BenchmarkReplayShards4"
 	if (!(b in nsev)) { print "bench.sh: no baseline result" > "/dev/stderr"; exit 1 }
-	print nsop[b], nsev[b], eps[b], allocs[b], nsop[i], nsev[i], nsev[a]
+	if (!(s1 in nsop) || !(s4 in nsop)) { print "bench.sh: missing shard results" > "/dev/stderr"; exit 1 }
+	print nsop[b], nsev[b], eps[b], allocs[b], nsop[i], nsev[i], nsev[a], nsop[s1], nsop[s4], procs+0
 }' "$RAW_REPLAY")
 
 # --- parse the sweep family ----------------------------------------------
@@ -124,6 +129,15 @@ else
 	echo "== no committed baseline in $REPLAY_OUT; recording first entry =="
 fi
 
+# --- report-only: intra-replay shard speedup ------------------------------
+awk -v s1="$SH1_NSOP" -v s4="$SH4_NSOP" -v procs="$REPLAY_PROCS" 'BEGIN {
+	printf "== intra-replay shards: shards1 %.0f ns/op, shards4 %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d (report-only) ==\n", \
+		s1, s4, s1 / s4, procs
+}'
+if [ "$REPLAY_PROCS" -le 1 ]; then
+	echo "== warning: GOMAXPROCS=1 — the Shards4 point runs its windows sequentially and the recorded shard speedup is meaningless; rerun with GOMAXPROCS>1 for a real multi-proc entry =="
+fi
+
 # --- report-only: sweep pool speedup --------------------------------------
 awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" -v procs="$GOMAXPROCS" 'BEGIN {
 	printf "== sweep pool: par1 %.0f ns/op, parmax %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d (report-only) ==\n", \
@@ -134,8 +148,11 @@ if [ "$GOMAXPROCS" -le 1 ]; then
 fi
 
 # --- extend both trajectories ---------------------------------------------
-append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s}' \
-	"$LABEL" "$STAMP" "$BENCHTIME" "$BASE_NSEV" "$BASE_EPS" "$BASE_ALLOCS" "${IDLE_NSEV:-0}" "${ACTIVE_NSEV:-0}")"
+append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s, "shards1_ns_per_op": %s, "shards4_ns_per_op": %s, "shard_speedup": %s, "gomaxprocs": %s, "cpus": %s}' \
+	"$LABEL" "$STAMP" "$BENCHTIME" "$BASE_NSEV" "$BASE_EPS" "$BASE_ALLOCS" "${IDLE_NSEV:-0}" "${ACTIVE_NSEV:-0}" \
+	"$SH1_NSOP" "$SH4_NSOP" \
+	"$(awk -v s1="$SH1_NSOP" -v s4="$SH4_NSOP" 'BEGIN { printf "%.3f", s1 / s4 }')" \
+	"$REPLAY_PROCS" "$CPUS")"
 append "$SWEEP_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "cpus": %s, "par1_ns_per_op": %s, "parmax_ns_per_op": %s, "speedup": %s}' \
 	"$LABEL" "$STAMP" "$BENCHTIME" "$GOMAXPROCS" "$CPUS" "$PAR1_NSOP" "$PARMAX_NSOP" \
 	"$(awk -v p1="$PAR1_NSOP" -v pm="$PARMAX_NSOP" 'BEGIN { printf "%.3f", p1 / pm }')")"
