@@ -22,10 +22,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fault"
 	"repro/internal/harness"
@@ -33,6 +37,16 @@ import (
 	"repro/internal/report"
 	"repro/internal/units"
 	"repro/internal/workload"
+)
+
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 completed with failed
+// replays (marked in the table), 130 interrupted by SIGINT/SIGTERM (the
+// partial table is still written).
+const (
+	exitFatal       = 1
+	exitUsage       = 2
+	exitFailedCells = 3
+	exitInterrupted = 130
 )
 
 // options holds every flag value; validation is separated from flag
@@ -133,8 +147,11 @@ func (o options) faultConfig() fault.Config {
 	return fault.Profile(o.faultSeed, o.faultRate)
 }
 
-// run executes the experiment and writes the table to w.
-func run(o options, w io.Writer) error {
+// run executes the experiment under supervision and writes the table to w,
+// including after cancellation, when the partially-filled table (with
+// marked rows) is the graceful-shutdown flush. It returns the count of
+// replays that did not complete.
+func run(ctx context.Context, o options, w io.Writer) (int, error) {
 	f, _ := report.ParseFormat(o.format)
 	d, _ := workload.Parse(o.dist)
 	wl := harness.Workload{
@@ -146,22 +163,24 @@ func run(o options, w io.Writer) error {
 		MaxEvents: o.maxEvents,
 		Par:       o.par,
 		Shards:    o.shards,
+		Sup:       &harness.Supervisor{Ctx: ctx},
 	}
 	t, err := harness.Table1Faults(wl, o.dma, o.faultConfig())
 	if err != nil {
-		return err
+		return 0, err
 	}
+	failed := t.Failed()
 	if f == report.Text {
 		if _, err := fmt.Fprint(w, t.String()); err != nil {
-			return err
+			return failed, err
 		}
 	} else if err := t.Report().Render(w, f); err != nil {
-		return err
+		return failed, err
 	}
 	if o.telemetry() {
-		return runTelemetry(o, wl, w, f)
+		return failed, runTelemetry(o, wl, w, f)
 	}
-	return nil
+	return failed, nil
 }
 
 // runTelemetry replays the NMsort trace on the 4X node with a telemetry
@@ -214,25 +233,43 @@ func writeFile(path string, write func(io.Writer) error) (err error) {
 func main() {
 	o, fs, err := parseFlags(os.Args[1:])
 	if err != nil {
-		os.Exit(2) // the FlagSet already printed the error and usage
+		os.Exit(exitUsage) // the FlagSet already printed the error and usage
 	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "nmsim: %v\n", err)
 		fs.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	profiles, err := prof.Start(o.cpuProfile, o.memProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nmsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitFatal)
 	}
-	runErr := run(o, os.Stdout)
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the context, the
+	// supervised replays stop at their next slice boundary, and run still
+	// writes the partial table. A second signal kills the process the
+	// default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	failed, runErr := run(ctx, o, os.Stdout)
 	// Stop even on failure: a profile of the partial run is still useful.
 	if err := profiles.Stop(); runErr == nil {
 		runErr = err
 	}
-	if runErr != nil {
+	switch {
+	case runErr != nil:
 		fmt.Fprintf(os.Stderr, "nmsim: %v\n", runErr)
-		os.Exit(1)
+		if ctx.Err() != nil && errors.Is(runErr, ctx.Err()) {
+			// The error IS the interrupt (e.g. the telemetry replay was
+			// cancelled mid-flight): report it under the interrupt code.
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(exitFatal)
+	case ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "nmsim: interrupted (%v); partial table written, %d replays incomplete\n", ctx.Err(), failed)
+		os.Exit(exitInterrupted)
+	case failed > 0:
+		fmt.Fprintf(os.Stderr, "nmsim: completed with %d failed replays (marked in the table)\n", failed)
+		os.Exit(exitFailedCells)
 	}
 }

@@ -1,12 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
-
-	"repro/internal/telemetry"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestValidate exercises the up-front flag validation: every rejected
@@ -94,8 +95,12 @@ func TestRunSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := run(o, &b); err != nil {
+	failed, err := run(context.Background(), o, &b)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if failed != 0 {
+		t.Fatalf("run reported %d failed replays", failed)
 	}
 	if !strings.Contains(b.String(), "NMsort") {
 		t.Errorf("output missing NMsort rows:\n%s", b.String())
@@ -164,8 +169,12 @@ func TestRunTelemetrySmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := run(o, &b); err != nil {
+	failed, err := run(context.Background(), o, &b)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if failed != 0 {
+		t.Fatalf("run reported %d failed replays", failed)
 	}
 	if !strings.Contains(b.String(), "timeline") {
 		t.Errorf("output missing phase table:\n%s", b.String())
@@ -183,5 +192,30 @@ func TestRunTelemetrySmall(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(csvRaw), "t_ps,") {
 		t.Errorf("csv export lacks header: %q", string(csvRaw[:40]))
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context still writes the table, with
+// every replay marked cancelled and counted as failed.
+func TestRunCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	o, _, err := parseFlags([]string{"-n", "4096", "-cores", "8", "-sp", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	failed, err := run(ctx, o, &b)
+	if err != nil {
+		t.Fatalf("cancelled run must still report: %v", err)
+	}
+	if failed == 0 {
+		t.Fatal("cancelled run reported no failed replays")
+	}
+	if !strings.Contains(b.String(), "[cancelled]") {
+		t.Errorf("table missing cancelled marks:\n%s", b.String())
 	}
 }

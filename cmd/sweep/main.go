@@ -8,20 +8,43 @@
 //	sweep -exp=bandwidth [-n keys] [-cores n] [-sp MiB] [-seed s]
 //	sweep -exp=faults [-fault-seed s] [-fault-rates r1,r2,...]
 //	sweep -exp=timeline [-epoch dur]
+//	sweep -exp=bandwidth -manifest run.json [-resume] [-slice n] [-retries n] [-timeout dur]
+//
+// Every replay runs under the supervised runtime: SIGINT/SIGTERM (or
+// -timeout) cancels the sweep at the next slice boundary and the partial
+// report is still written (exit code 130); with -manifest each completed
+// cell is checkpointed atomically, and -resume skips checkpointed cells to
+// produce a byte-identical report. A sweep that completes with failed
+// cells exits 3 with the failures marked in the report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/units"
+)
+
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 completed with failed
+// cells (the report carries marked rows), 130 interrupted by signal or
+// -timeout (partial report and manifest flushed).
+const (
+	exitFatal       = 1
+	exitUsage       = 2
+	exitFailedCells = 3
+	exitInterrupted = 130
 )
 
 // experiment is one registered -exp value: its one-line description (the
@@ -59,6 +82,8 @@ var experiments = []experiment{
 		func(o options, w harness.Workload) (harness.Sweep, error) {
 			kw := harness.DefaultKMeans()
 			kw.Th = o.cores
+			kw.Par = w.Par
+			kw.Sup = w.Sup
 			return harness.KMeansSweep(kw)
 		}},
 	{"faults", "experiment F1 — slowdown, retry counts, and MemFault outcomes vs. the far memory's error rate",
@@ -125,6 +150,13 @@ type options struct {
 	shards     int
 	cpuProfile string
 	memProfile string
+
+	manifest  string
+	resume    bool
+	slice     uint64
+	retries   int
+	retrySeed uint64
+	timeout   time.Duration
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -145,6 +177,12 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.IntVar(&o.shards, "shards", 0, "intra-replay event-queue shards; output is byte-identical at any value (0 = sequential engine, -1 = auto)")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&o.manifest, "manifest", "", "checkpoint completed sweep cells to this JSON file (written atomically after each cell)")
+	fs.BoolVar(&o.resume, "resume", false, "load -manifest and skip cells it already holds; the final report is byte-identical to an uninterrupted run")
+	fs.Uint64Var(&o.slice, "slice", 0, "events per supervised replay slice; cancellation is polled between slices (0 = default)")
+	fs.IntVar(&o.retries, "retries", 0, "deterministic re-replays of cells ending in a transient MemFault outcome")
+	fs.Uint64Var(&o.retrySeed, "retry-seed", 1, "seed for the deterministic retry reseeding chain")
+	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock bound on the whole sweep (0 = none); on expiry the partial report and manifest are flushed")
 	def := fs.Usage
 	fs.Usage = func() {
 		def()
@@ -170,6 +208,12 @@ func (o options) validate() error {
 		return fmt.Errorf("-par %d is negative (0 means GOMAXPROCS)", o.par)
 	case o.shards < -1:
 		return fmt.Errorf("-shards %d is invalid (0 = sequential engine, -1 = auto)", o.shards)
+	case o.retries < 0:
+		return fmt.Errorf("-retries %d is negative", o.retries)
+	case o.timeout < 0:
+		return fmt.Errorf("-timeout %v is negative", o.timeout)
+	case o.resume && o.manifest == "":
+		return fmt.Errorf("-resume requires -manifest")
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -226,11 +270,50 @@ func parseRates(list string) ([]float64, error) {
 	return rates, nil
 }
 
-// run executes the selected experiment and writes the series to out. Every
-// experiment yields a harness.Sweep, so fault, timeline, and plain sweeps
-// all render through the same table path.
-func run(o options, out io.Writer) error {
+// supervisor builds the supervised runtime from the flags: cancellation
+// from ctx, the manifest (fresh or resumed), and the retry policy. Every
+// sweep cell runs under it; a do-nothing supervisor is byte-identical to
+// the historical unsupervised path (pinned in internal/harness).
+func supervisor(ctx context.Context, o options) (*harness.Supervisor, error) {
+	sup := &harness.Supervisor{
+		Ctx:       ctx,
+		Slice:     o.slice,
+		Retries:   o.retries,
+		RetrySeed: o.retrySeed,
+	}
+	if o.manifest == "" {
+		return sup, nil
+	}
+	if o.resume {
+		man, err := harness.OpenManifest(o.manifest)
+		if err != nil {
+			return nil, err
+		}
+		sup.Manifest = man
+		return sup, nil
+	}
+	// A fresh (non-resume) run must not inherit stale cells: reset the file
+	// now so a crash before the first completed cell leaves a valid empty
+	// manifest, not last week's.
+	sup.Manifest = harness.NewManifest(o.manifest)
+	if err := sup.Manifest.Flush(); err != nil {
+		return nil, err
+	}
+	return sup, nil
+}
+
+// run executes the selected experiment under supervision and writes the
+// series to out — including after cancellation or cell failures, when the
+// partially-filled report (with marked rows) is the flush the shutdown
+// path promises. It returns the count of failed cells. Every experiment
+// yields a harness.Sweep, so fault, timeline, and plain sweeps all render
+// through the same table path.
+func run(ctx context.Context, o options, out io.Writer) (int, error) {
 	f, _ := report.ParseFormat(o.format)
+	sup, err := supervisor(ctx, o)
+	if err != nil {
+		return 0, err
+	}
 	w := harness.Workload{
 		N:       o.n,
 		Seed:    o.seed,
@@ -238,41 +321,72 @@ func run(o options, out io.Writer) error {
 		SP:      units.Bytes(o.spMiB) * units.MiB,
 		Par:     o.par,
 		Shards:  o.shards,
+		Sup:     sup,
 	}
 	e, _ := findExperiment(o.exp)
 	s, err := e.run(o, w)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if f == report.Text {
-		_, err := fmt.Fprint(out, s.String())
-		return err
+		if _, err := fmt.Fprint(out, s.String()); err != nil {
+			return s.Failed(), err
+		}
+	} else if err := s.Report().Render(out, f); err != nil {
+		return s.Failed(), err
 	}
-	return s.Report().Render(out, f)
+	if sup.Manifest != nil {
+		if err := sup.Manifest.Flush(); err != nil {
+			return s.Failed(), err
+		}
+	}
+	return s.Failed(), nil
 }
 
 func main() {
 	o, fs, err := parseFlags(os.Args[1:])
 	if err != nil {
-		os.Exit(2) // the FlagSet already printed the error and usage
+		os.Exit(exitUsage) // the FlagSet already printed the error and usage
 	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		fs.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	profiles, err := prof.Start(o.cpuProfile, o.memProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitFatal)
 	}
-	runErr := run(o, os.Stdout)
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the context, the
+	// running slice finishes, untouched cells cancel, and run still writes
+	// the partial report (the manifest is already on disk per cell). A
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	failed, runErr := run(ctx, o, os.Stdout)
 	// Stop even on failure: a profile of the partial run is still useful.
 	if err := profiles.Stop(); runErr == nil {
 		runErr = err
 	}
-	if runErr != nil {
+	switch {
+	case runErr != nil:
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
-		os.Exit(1)
+		if ctx.Err() != nil && errors.Is(runErr, ctx.Err()) {
+			// The error IS the interrupt: report it under the interrupt code.
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(exitFatal)
+	case ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "sweep: interrupted (%v); partial report written, %d cells incomplete\n", ctx.Err(), failed)
+		os.Exit(exitInterrupted)
+	case failed > 0:
+		fmt.Fprintf(os.Stderr, "sweep: completed with %d failed cells (marked in the report)\n", failed)
+		os.Exit(exitFailedCells)
 	}
 }

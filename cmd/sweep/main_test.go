@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -97,8 +99,12 @@ func TestRunFaultsSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := run(o, &b); err != nil {
+	failed, err := run(context.Background(), o, &b)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if failed != 0 {
+		t.Fatalf("run reported %d failed cells", failed)
 	}
 	out := b.String()
 	if !strings.Contains(out, "nmsort") || !strings.Contains(out, "gnusort") {
@@ -184,8 +190,12 @@ func TestRunTimelineSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := run(o, &b); err != nil {
+	failed, err := run(context.Background(), o, &b)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if failed != 0 {
+		t.Fatalf("run reported %d failed cells", failed)
 	}
 	out := b.String()
 	if !strings.Contains(out, "phase breakdown") {
@@ -195,5 +205,97 @@ func TestRunTimelineSmall(t *testing.T) {
 		if !strings.Contains(out, phase) {
 			t.Errorf("timeline output missing phase %q:\n%s", phase, out)
 		}
+	}
+}
+
+// TestValidateSupervision covers the supervision flags' validation rules.
+func TestValidateSupervision(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"resume without manifest", []string{"-resume"}, "-resume requires -manifest"},
+		{"resume with manifest", []string{"-resume", "-manifest", "m.json"}, ""},
+		{"negative retries", []string{"-retries", "-1"}, "-retries"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+		{"valid supervision", []string{"-manifest", "m.json", "-slice", "4096", "-retries", "2", "-retry-seed", "9", "-timeout", "30s"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, _, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%v) = %v, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunResumeByteIdentical runs a sweep with a manifest, then resumes
+// from it: the resumed report must be byte-identical and must come from
+// the checkpoints (cells skip replaying, so a poisoned resume would show).
+func TestRunResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	manifest := filepath.Join(t.TempDir(), "m.json")
+	args := []string{"-exp", "dma", "-n", "4096", "-cores", "8", "-sp", "1", "-manifest", manifest}
+	o, _, err := parseFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var first strings.Builder
+	if failed, err := run(context.Background(), o, &first); err != nil || failed != 0 {
+		t.Fatalf("first run: failed=%d err=%v", failed, err)
+	}
+
+	ro, _, err := parseFlags(append(args, "-resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if failed, err := run(context.Background(), ro, &second); err != nil || failed != 0 {
+		t.Fatalf("resume run: failed=%d err=%v", failed, err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed report differs:\n%s\nwant:\n%s", second.String(), first.String())
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context still yields a report, with
+// every cell marked cancelled and counted as failed.
+func TestRunCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	o, _, err := parseFlags([]string{"-exp", "dma", "-n", "4096", "-cores", "8", "-sp", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	failed, err := run(ctx, o, &b)
+	if err != nil {
+		t.Fatalf("cancelled run must still report: %v", err)
+	}
+	if failed == 0 {
+		t.Fatal("cancelled run reported no failed cells")
+	}
+	if !strings.Contains(b.String(), "[cancelled]") {
+		t.Errorf("report missing cancelled marks:\n%s", b.String())
 	}
 }

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// runStormSliced drives the same storm as runStorm but through repeated
+// small RunBudget slices — the execution shape the harness supervisor uses
+// to poll for cancellation between slices. Slicing must be invisible: the
+// event log, sampler boundaries, and final clocks must match a single
+// uninterrupted run exactly.
+func runStormSliced(t *testing.T, shards int, seed, slice uint64) (*stormLog, *Sim, int) {
+	t.Helper()
+	s := New()
+	if shards > 0 {
+		s.Shard(shards, 40)
+	}
+	log := scheduleStorm(s, seed, 32, shards)
+	s.SetSampler(100, func(b units.Time) { log.samples = append(log.samples, b) })
+	slices := 0
+	for {
+		slices++
+		_, err := s.RunBudget(slice)
+		if err == nil {
+			return log, s, slices
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("RunBudget(shards=%d, slice=%d): %v", shards, slice, err)
+		}
+		if slices > 1<<20 {
+			t.Fatalf("storm did not converge in %d slices", slices)
+		}
+	}
+}
+
+// TestSlicedRunMatchesUninterrupted is the primitive the supervised
+// runtime stands on: executing a run as many small event-budget slices
+// (resuming after each BudgetError) is observationally identical to one
+// uninterrupted run — sequential and sharded, at slice sizes that land
+// mid-window, on window boundaries, and below the smallest cascade step.
+func TestSlicedRunMatchesUninterrupted(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		for _, shards := range []int{0, 4} {
+			ref, refSim := runStorm(t, shards, 1, seed)
+			for _, slice := range []uint64{1, 3, 17, 64, 1000} {
+				got, gotSim, slices := runStormSliced(t, shards, seed, slice)
+				if slice < 64 && slices < 2 {
+					t.Fatalf("seed %d shards %d slice %d: only %d slices — test not exercising resume", seed, shards, slice, slices)
+				}
+				if fmt.Sprint(got.events) != fmt.Sprint(ref.events) {
+					t.Fatalf("seed %d shards %d slice %d: event log diverged", seed, shards, slice)
+				}
+				if fmt.Sprint(got.samples) != fmt.Sprint(ref.samples) {
+					t.Fatalf("seed %d shards %d slice %d: samples %v, want %v",
+						seed, shards, slice, got.samples, ref.samples)
+				}
+				if gotSim.Now() != refSim.Now() || gotSim.Executed() != refSim.Executed() {
+					t.Fatalf("seed %d shards %d slice %d: final (now=%v, executed=%d), want (%v, %d)",
+						seed, shards, slice, gotSim.Now(), gotSim.Executed(), refSim.Now(), refSim.Executed())
+				}
+			}
+		}
+	}
+}

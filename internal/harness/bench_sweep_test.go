@@ -44,7 +44,7 @@ func benchSweep(b *testing.B, workers int) {
 	jobs := benchSweepJobs(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		outs := runReplays(workers, jobs)
+		outs := runReplays(nil, workers, jobs)
 		for _, o := range outs {
 			if o.err != nil {
 				b.Fatal(o.err)

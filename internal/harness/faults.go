@@ -59,7 +59,7 @@ func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (
 			})
 		}
 	}
-	s, err := s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	s, err := s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 	if err != nil {
 		return s, err
 	}
@@ -68,7 +68,12 @@ func RunFaultSweep(w Workload, nearChannels int, seed uint64, rates []float64) (
 		if s.Points[i].Rate == 0 {
 			base = s.Points[i].Result.SimTime.Seconds()
 		}
-		s.Points[i].Slowdown = s.Points[i].Result.SimTime.Seconds() / base
+		if base > 0 {
+			// A supervised sweep can carry a failed anchor (base 0, from a
+			// panicking or cancelled cell); its Slowdown column stays 0
+			// instead of dividing by zero.
+			s.Points[i].Slowdown = s.Points[i].Result.SimTime.Seconds() / base
+		}
 	}
 	return s, nil
 }

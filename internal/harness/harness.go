@@ -74,6 +74,13 @@ type Workload struct {
 	// points across replays, Shards parallelizes inside each one — and,
 	// like Par, byte-neutral: results are identical at any value.
 	Shards int
+
+	// Sup, when non-nil, runs every replay under the supervised runtime:
+	// sliced event budgets with cancellation polling, panic containment
+	// (failed cells become marked report rows instead of aborting the
+	// sweep), deterministic MemFault retries, and manifest checkpointing.
+	// Nil keeps the historical fail-fast behavior, byte for byte.
+	Sup *Supervisor
 }
 
 // DefaultWorkload returns the scaled Table I workload: the paper sorts 10M
@@ -166,12 +173,28 @@ type Row struct {
 	Rho     float64 // near/far bandwidth expansion (0 for the baseline's n/a)
 	Result  machine.Result
 	RelTime float64 // time relative to the first (baseline) row
+
+	// Fail is the supervised failure kind ("panic", "cancelled", ...) when
+	// this row's replay did not complete; empty on success. Failed rows
+	// keep their place in the table with a marked name.
+	Fail string
 }
 
 // Table is a Table-I-style report.
 type Table struct {
 	Title string
 	Rows  []Row
+}
+
+// Failed counts rows whose supervised replay did not complete.
+func (t Table) Failed() int {
+	n := 0
+	for _, r := range t.Rows {
+		if r.Fail != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // Table1 reproduces the paper's Table I on the given workload: the GNU
@@ -211,30 +234,41 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 	// recorded traces read-only.
 	channels := []int{8, 8, 16, 32}
 	traces := []*trace.Trace{gnu.Trace, nm.Trace, nm.Trace, nm.Trace}
+	labels := []string{"GNU Sort", "NMsort (2X)", "NMsort (4X)", "NMsort (8X)"}
 	jobs := make([]replayJob, len(channels))
 	for i, ch := range channels {
 		cfg := NodeFor(w.Threads, ch, w.SP)
 		cfg.Fault = fc
 		cfg.MaxEvents = w.MaxEvents
 		cfg.Shards = w.Shards
-		jobs[i] = replayJob{cfg: cfg, tr: traces[i]}
+		jobs[i] = replayJob{cfg: cfg, tr: traces[i], label: labels[i]}
 	}
-	outs := runReplays(replayPar(w.Par, len(jobs)), jobs)
-	for _, o := range outs {
-		if o.err != nil {
-			return t, o.err
+	outs := runReplays(w.Sup, replayPar(w.Par, len(jobs)), jobs)
+	if w.Sup == nil {
+		// Unsupervised: the historical fail-fast contract.
+		for _, o := range outs {
+			if o.err != nil {
+				return t, o.err
+			}
 		}
 	}
-	base := outs[0].res
-	t.Rows = append(t.Rows, Row{Name: mark("GNU Sort", outs[0].memFault), Result: base, RelTime: 1})
-	for i, ch := range channels[1:] {
-		o := outs[i+1]
-		t.Rows = append(t.Rows, Row{
-			Name:    mark(fmt.Sprintf("NMsort (%dX)", ch/4), o.memFault),
-			Rho:     jobs[i+1].cfg.BandwidthExpansion(),
-			Result:  o.res,
-			RelTime: o.res.SimTime.Seconds() / base.SimTime.Seconds(),
-		})
+	baseTime := outs[0].res.SimTime.Seconds()
+	for i, o := range outs {
+		r := Row{
+			Name:   report.FailMark(mark(labels[i], o.memFault), failKind(o.err)),
+			Fail:   failKind(o.err),
+			Result: o.res,
+		}
+		if i > 0 {
+			r.Rho = jobs[i].cfg.BandwidthExpansion()
+		}
+		switch {
+		case i == 0:
+			r.RelTime = 1
+		case baseTime > 0:
+			r.RelTime = o.res.SimTime.Seconds() / baseTime
+		}
+		t.Rows = append(t.Rows, r)
 	}
 	return t, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kmeans"
-	"repro/internal/machine"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -19,6 +18,13 @@ type KMeansWorkload struct {
 	Seed   uint64
 	Th     int         // logical threads
 	SP     units.Bytes // scratchpad capacity
+
+	// Par is the replay worker count (like Workload.Par): 0 means
+	// GOMAXPROCS, 1 forces sequential replay; byte-identical at any value.
+	Par int
+
+	// Sup, when non-nil, supervises every replay (like Workload.Sup).
+	Sup *Supervisor
 }
 
 // DefaultKMeans returns a clustering workload whose point set fits the
@@ -73,24 +79,20 @@ func KMeansSweep(w KMeansWorkload) (Sweep, error) {
 	if err != nil {
 		return s, err
 	}
+	var jobs []replayJob
+	var points []SweepPoint
 	for _, ch := range []int{8, 16, 32} {
-		cfg := NodeFor(w.Th, ch, w.SP)
-		fres, err := machine.Run(cfg, farTr)
-		if err != nil {
-			return s, err
+		for _, v := range []struct {
+			name string
+			tr   *trace.Trace
+		}{{"kmeans-far", farTr}, {"kmeans-sp", spTr}} {
+			cfg := NodeFor(w.Th, ch, w.SP)
+			jobs = append(jobs, replayJob{cfg: cfg, tr: v.tr})
+			points = append(points, SweepPoint{
+				Label: fmt.Sprintf("%s@%dX", v.name, ch/4), Cores: w.Th,
+				Rho: cfg.BandwidthExpansion(),
+			})
 		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: fmt.Sprintf("kmeans-far@%dX", ch/4), Cores: w.Th,
-			Rho: cfg.BandwidthExpansion(), Result: fres,
-		})
-		sres, err := machine.Run(NodeFor(w.Th, ch, w.SP), spTr)
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points, SweepPoint{
-			Label: fmt.Sprintf("kmeans-sp@%dX", ch/4), Cores: w.Th,
-			Rho: cfg.BandwidthExpansion(), Result: sres,
-		})
 	}
-	return s, nil
+	return s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 }

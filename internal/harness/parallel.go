@@ -19,16 +19,19 @@ import (
 
 // replayJob is one independent sweep point: a machine configuration plus
 // the recorded trace to replay on it. The trace is shared read-only across
-// jobs — replay never mutates a stream.
+// jobs — replay never mutates a stream. label is the point's report label,
+// carried so supervised failures name their cell.
 type replayJob struct {
-	cfg machine.Config
-	tr  *trace.Trace
+	cfg   machine.Config
+	tr    *trace.Trace
+	label string
 }
 
 // replayOut is one job's outcome, written into the job's slot.
 type replayOut struct {
 	res      machine.Result
 	memFault bool // the replay completed but returned uncorrected data
+	attempts int  // supervised replay attempts (0 on the unsupervised path)
 	err      error
 }
 
@@ -52,14 +55,30 @@ func replayPar(p, n int) int {
 // unclaimed job index from a shared cursor — dynamic scheduling, because
 // sweep points differ wildly in event count — and write results by index,
 // never by completion order.
-func runReplays(workers int, jobs []replayJob) []replayOut {
+//
+// With a nil supervisor each job is one undivided replay and errors are
+// the caller's to handle (the historical path — byte-identical to every
+// pre-supervision release). With a supervisor, each job runs as a
+// supervised cell: sliced, panic-contained, retried, checkpointed.
+func runReplays(sup *Supervisor, workers int, jobs []replayJob) []replayOut {
 	out := make([]replayOut, len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
+	run := func(i int) { out[i] = runJob(jobs[i]) }
+	if sup != nil {
+		keys, err := sup.cellKeys(jobs)
+		if err != nil {
+			for i := range out {
+				out[i] = replayOut{err: err}
+			}
+			return out
+		}
+		run = func(i int) { out[i] = sup.runCell(jobs[i], keys[i]) }
+	}
 	if workers <= 1 {
-		for i, j := range jobs {
-			out[i] = runJob(j)
+		for i := range jobs {
+			run(i)
 		}
 		return out
 	}
@@ -70,7 +89,7 @@ func runReplays(workers int, jobs []replayJob) []replayOut {
 			if i >= len(jobs) {
 				return
 			}
-			out[i] = runJob(jobs[i])
+			run(i)
 		}
 	})
 	return out

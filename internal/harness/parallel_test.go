@@ -47,9 +47,9 @@ func TestRunReplaysMatchesSequential(t *testing.T) {
 	for _, ch := range []int{8, 16, 32, 8, 16, 32} {
 		jobs = append(jobs, replayJob{cfg: NodeFor(w.Threads, ch, w.SP), tr: rec.Trace})
 	}
-	seq := runReplays(1, jobs)
+	seq := runReplays(nil, 1, jobs)
 	for _, workers := range []int{2, 8} {
-		got := runReplays(workers, jobs)
+		got := runReplays(nil, workers, jobs)
 		if len(got) != len(seq) {
 			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(got), len(seq))
 		}
@@ -62,7 +62,7 @@ func TestRunReplaysMatchesSequential(t *testing.T) {
 			}
 		}
 	}
-	if out := runReplays(4, nil); len(out) != 0 {
+	if out := runReplays(nil, 4, nil); len(out) != 0 {
 		t.Errorf("runReplays with no jobs returned %d outputs", len(out))
 	}
 }

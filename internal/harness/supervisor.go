@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// The supervised execution runtime: every replay of every sweep can run
+// under a Supervisor, which slices the replay's event budget (via the
+// engine's byte-identical RunBudget resume), polls for cancellation and
+// chaos between slices, contains panics to their cell, retries transient
+// MemFault outcomes deterministically, and checkpoints completed cells in
+// a Manifest so an interrupted sweep resumes to a byte-identical report.
+// A nil Supervisor (the default everywhere) is the pre-supervision
+// fast path: one undivided replay per cell, first error aborts the sweep.
+
+// DefaultSlice is the per-slice event budget when Supervisor.Slice is
+// zero: small enough that cancellation latency stays in the milliseconds
+// on the paper's configurations, large enough that slice bookkeeping is
+// noise next to event execution.
+const DefaultSlice uint64 = 1 << 16
+
+// CellKey identifies one sweep cell content-addressably: the digest of
+// the recorded trace and the digest of the machine configuration (plus
+// the supervisor's retry policy, which changes fault outcomes). Equal
+// keys mean byte-identical replays, so a manifest entry under this key
+// can stand in for re-running the cell.
+type CellKey struct {
+	Trace  uint64 // trace.Digest of the recorded stream
+	Config uint64 // configDigest of the machine.Config + retry policy
+}
+
+// String renders the key in the manifest's stable hex form.
+func (k CellKey) String() string { return fmt.Sprintf("t%016x-c%016x", k.Trace, k.Config) }
+
+// ReplayPanicError is a panic contained to its sweep cell: the panic
+// value, the goroutine stack at the panic, and the cell's coordinates.
+// The sweep continues; the cell renders as a marked row.
+type ReplayPanicError struct {
+	Cell  CellKey
+	Label string // the cell's report label, when the sweep provided one
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured inside the recover
+}
+
+// Error implements error.
+func (e *ReplayPanicError) Error() string {
+	return fmt.Sprintf("harness: replay %s (cell %s) panicked: %v", e.Label, e.Cell, e.Value)
+}
+
+// CancelledError marks a cell abandoned by cancellation — a context
+// deadline, a signal, or a chaos interrupt — between event-budget slices.
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) works.
+type CancelledError struct {
+	Cell  CellKey
+	Label string
+	Cause error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("harness: replay %s (cell %s) cancelled: %v", e.Label, e.Cell, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// Supervisor wraps sweep replays in the supervised runtime. The zero
+// value is usable: no context, no manifest, no retries, default slice.
+// One Supervisor may serve many sweeps in sequence; its methods are
+// goroutine-safe with respect to the worker pool (cells run concurrently).
+type Supervisor struct {
+	// Ctx, when non-nil, is polled between event-budget slices: a
+	// deadline or cancellation abandons the running cell with a
+	// CancelledError and skips all cells not yet started.
+	Ctx context.Context
+
+	// Slice is the per-slice event budget; 0 means DefaultSlice.
+	Slice uint64
+
+	// Retries bounds deterministic re-replays of cells whose replay
+	// completed with a transient MemFault outcome while fault injection
+	// is active. Each retry reseeds the fault stream from
+	// xrand.Mix(RetrySeed, trace, config, attempt) — no wall clock
+	// anywhere in the decision, so retry outcomes are reproducible.
+	Retries   int
+	RetrySeed uint64
+
+	// Manifest, when non-nil, checkpoints completed cells: lookups skip
+	// replays already on disk, and every completed cell is written
+	// through atomically. Cells with telemetry recorders attached never
+	// use the manifest (their recorder must actually record).
+	Manifest *Manifest
+
+	// Interrupt, when non-nil, is polled between slices alongside Ctx —
+	// the deterministic chaos hook. It must be goroutine-safe. A non-nil
+	// return cancels like a context cancellation.
+	Interrupt func() error
+
+	// stop latches the first cancellation cause: once any cell observes
+	// cancellation, every later poll fails fast without re-deriving it.
+	stop atomic.Pointer[error]
+
+	// traceDigests caches trace.Digest per recorded trace. Guarded by
+	// being touched only from cellKeys, which runs before each sweep's
+	// fan-out on the calling goroutine.
+	traceDigests map[*trace.Trace]uint64
+}
+
+// interrupted reports the sticky cancellation state, latching the first
+// cause it observes from the context or the chaos hook.
+func (sup *Supervisor) interrupted() error {
+	if p := sup.stop.Load(); p != nil {
+		return *p
+	}
+	var cause error
+	if sup.Ctx != nil {
+		cause = sup.Ctx.Err()
+	}
+	if cause == nil && sup.Interrupt != nil {
+		cause = sup.Interrupt()
+	}
+	if cause == nil {
+		return nil
+	}
+	sup.stop.CompareAndSwap(nil, &cause)
+	return *sup.stop.Load()
+}
+
+// configDigest fingerprints a machine configuration for cell keying.
+// Shards is zeroed because sharding is result-neutral by construction
+// (a manifest written at -shards 4 must resume a -shards 0 run), and
+// Telemetry is zeroed because a recorder pointer has no stable rendering
+// (telemetry cells are excluded from manifest use anyway). The retry
+// policy is folded in because it changes fault outcomes.
+var cellCRCTable = crc64.MakeTable(crc64.ECMA)
+
+func configDigest(cfg machine.Config, retries int, retrySeed uint64) uint64 {
+	cfg.Shards = 0
+	cfg.Telemetry = nil
+	return crc64.Checksum(
+		[]byte(fmt.Sprintf("%+v|retries=%d|retryseed=%d", cfg, retries, retrySeed)),
+		cellCRCTable)
+}
+
+// cellKeys derives every job's CellKey, caching trace digests by trace
+// identity (sweeps share one recorded trace across many cells). Runs on
+// the sweep goroutine before the fan-out.
+func (sup *Supervisor) cellKeys(jobs []replayJob) ([]CellKey, error) {
+	keys := make([]CellKey, len(jobs))
+	for i, j := range jobs {
+		td, ok := sup.traceDigests[j.tr]
+		if !ok {
+			var err error
+			td, err = j.tr.Digest()
+			if err != nil {
+				return nil, fmt.Errorf("harness: digesting trace for cell %d: %w", i, err)
+			}
+			if sup.traceDigests == nil {
+				sup.traceDigests = make(map[*trace.Trace]uint64)
+			}
+			sup.traceDigests[j.tr] = td
+		}
+		keys[i] = CellKey{Trace: td, Config: configDigest(j.cfg, sup.Retries, sup.RetrySeed)}
+	}
+	return keys, nil
+}
+
+// runCell executes one supervised cell end to end: manifest lookup,
+// sliced replay with panic containment, deterministic MemFault retries,
+// and the checkpoint write. Called concurrently from pool workers.
+func (sup *Supervisor) runCell(j replayJob, key CellKey) replayOut {
+	useManifest := sup.Manifest != nil && j.cfg.Telemetry == nil
+	if useManifest {
+		if c, ok := sup.Manifest.lookup(key); ok {
+			return replayOut{res: c.Result, memFault: c.MemFault, attempts: c.Attempts}
+		}
+	}
+	if err := sup.interrupted(); err != nil {
+		return replayOut{err: &CancelledError{Cell: key, Label: j.label, Cause: err}}
+	}
+	out := sup.attempt(j, key)
+	attempts := 1
+	var mf *fault.MemFaultError
+	for errors.As(out.err, &mf) && attempts <= sup.Retries {
+		// The outcome is valid data but the simulated program read
+		// uncorrected bits — the transient class worth re-running. Reseed
+		// the fault stream deterministically and replay the cell.
+		rj := j
+		rj.cfg.Fault.Seed = xrand.Mix(sup.RetrySeed, key.Trace, key.Config, uint64(attempts))
+		out = sup.attempt(rj, key)
+		attempts++
+	}
+	if errors.As(out.err, &mf) {
+		// Retries exhausted (or disabled): tolerate the MemFault outcome
+		// as data, exactly like the unsupervised runTolerant path.
+		out.memFault = true
+		out.err = nil
+	}
+	out.attempts = attempts
+	if out.err == nil && useManifest {
+		if err := sup.Manifest.complete(key, manifestCell{
+			MemFault: out.memFault, Attempts: attempts, Result: out.res,
+		}); err != nil {
+			out.err = err
+		}
+	}
+	return out
+}
+
+// attempt runs one sliced replay with panic containment. The machine is
+// built inside the recover scope, so a config that fails validation (New
+// panics) becomes a ReplayPanicError for its cell instead of killing the
+// sweep.
+func (sup *Supervisor) attempt(j replayJob, key CellKey) (out replayOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = replayOut{err: &ReplayPanicError{
+				Cell: key, Label: j.label, Value: r, Stack: debug.Stack(),
+			}}
+		}
+	}()
+	slice := sup.Slice
+	if slice == 0 {
+		slice = DefaultSlice
+	}
+	pause := func() error {
+		if err := sup.interrupted(); err != nil {
+			return &CancelledError{Cell: key, Label: j.label, Cause: err}
+		}
+		return nil
+	}
+	res, err := machine.New(j.cfg).ReplaySliced(j.tr, slice, pause)
+	return replayOut{res: res, err: err}
+}
+
+// failKind classifies a supervised cell's terminal error for report
+// marking: "" (success), "panic", "cancelled", "budget", "stall", or
+// "error" for anything else. Every class is errors.As-reachable through
+// the wrap chain, pinned by the error-taxonomy test.
+func failKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, new(*ReplayPanicError)):
+		return "panic"
+	case errors.As(err, new(*CancelledError)):
+		return "cancelled"
+	case errors.As(err, new(*engine.BudgetError)):
+		return "budget"
+	case errors.As(err, new(*engine.StallError)):
+		return "stall"
+	default:
+		return "error"
+	}
+}

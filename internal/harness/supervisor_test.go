@@ -1,0 +1,453 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// renderSweep is the byte-identity probe: the aligned text plus the CSV
+// encoding, so both render paths are pinned at once.
+func renderSweep(t *testing.T, s Sweep) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(s.String())
+	if err := s.Report().Render(&b, "csv"); err != nil {
+		t.Fatalf("render csv: %v", err)
+	}
+	return b.String()
+}
+
+// TestSupervisedMatchesUnsupervised pins the core byte-identity claim: a
+// supervisor with nothing to do (no cancellation, no chaos, no manifest)
+// renders the exact bytes of the historical unsupervised sweep.
+func TestSupervisedMatchesUnsupervised(t *testing.T) {
+	w := tinyWorkload()
+	golden, err := BandwidthSweep(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slice := range []uint64{0, 1 << 12} {
+		sw := w
+		sw.Sup = &Supervisor{Slice: slice}
+		got, err := BandwidthSweep(sw)
+		if err != nil {
+			t.Fatalf("slice %d: %v", slice, err)
+		}
+		if got.Failed() != 0 {
+			t.Fatalf("slice %d: %d failed cells", slice, got.Failed())
+		}
+		if g, want := renderSweep(t, got), renderSweep(t, golden); g != want {
+			t.Errorf("slice %d: supervised output differs from unsupervised:\n%s\nwant:\n%s", slice, g, want)
+		}
+	}
+}
+
+// TestChaosInterruptResume is the deterministic chaos test: sweeps are
+// killed at seeded slice boundaries via the Interrupt hook, resumed from
+// the on-disk manifest (reloaded through OpenManifest each round, as a
+// fresh process would), and the final resumed report must be byte-identical
+// to an uninterrupted golden run — across worker counts and across engine
+// sharding (the manifest key deliberately ignores Shards).
+func TestChaosInterruptResume(t *testing.T) {
+	w := tinyWorkload()
+	golden, err := BandwidthSweep(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderSweep(t, golden)
+
+	pars := []int{1, 4}
+	if testing.Short() {
+		pars = []int{2}
+	}
+	const chaosSeed = 0xC4A05
+	for _, par := range pars {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			if par > 1 {
+				// The widest matrix point also runs host-constrained:
+				// byte-identity must hold at any GOMAXPROCS.
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+			}
+			path := filepath.Join(t.TempDir(), "manifest.json")
+			for round := 0; ; round++ {
+				if round > 50 {
+					t.Fatal("chaos rounds did not converge")
+				}
+				man, err := OpenManifest(path)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				// The kill threshold is seeded and grows with the round, so
+				// every schedule eventually outruns the chaos.
+				kill := 1 + xrand.Mix(chaosSeed, uint64(round))%20 + uint64(round)*5
+				var slices atomic.Uint64
+				chaos := errors.New("chaos kill")
+				sw := w
+				sw.Par = par
+				sw.Shards = []int{0, 2}[round%2] // resume must cross -shards values
+				sw.Sup = &Supervisor{
+					Slice:    1 << 12,
+					Manifest: man,
+					Interrupt: func() error {
+						if slices.Add(1) >= kill {
+							return chaos
+						}
+						return nil
+					},
+				}
+				s, err := BandwidthSweep(sw)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if s.Failed() == 0 {
+					if got := renderSweep(t, s); got != want {
+						t.Errorf("resumed sweep differs from golden:\n%s\nwant:\n%s", got, want)
+					}
+					t.Logf("converged after %d rounds, %d cells checkpointed", round+1, man.Len())
+					return
+				}
+				for _, p := range s.Points {
+					if p.Fail != "" && p.Fail != "cancelled" {
+						t.Fatalf("round %d: cell %q failed with %q, want cancelled", round, p.Label, p.Fail)
+					}
+					if p.Fail != "" && !strings.Contains(pointLabel(p), "[cancelled]") {
+						t.Fatalf("round %d: cancelled cell %q not marked: %q", round, p.Label, pointLabel(p))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPanicContainment plants a cell whose machine configuration fails
+// validation (machine.New panics) among healthy cells: the sweep must
+// complete, the poisoned cell must render as a marked row, and the failure
+// count must be exactly one.
+func TestPanicContainment(t *testing.T) {
+	w := tinyWorkload()
+	rec, err := Record(AlgGNUSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NodeFor(w.Threads, 8, w.SP)
+	bad := good
+	bad.Cores = -1 // fails Validate; machine.New panics
+	jobs := []replayJob{
+		{cfg: good, tr: rec.Trace},
+		{cfg: bad, tr: rec.Trace},
+		{cfg: good, tr: rec.Trace},
+	}
+	points := []SweepPoint{{Label: "ok-a"}, {Label: "boom"}, {Label: "ok-b"}}
+	s, err := Sweep{Title: "panic containment"}.collect(&Supervisor{}, 2, jobs, points)
+	if err != nil {
+		t.Fatalf("supervised sweep aborted: %v", err)
+	}
+	if s.Failed() != 1 {
+		t.Fatalf("Failed() = %d, want 1", s.Failed())
+	}
+	if s.Points[1].Fail != "panic" {
+		t.Errorf("Fail = %q, want panic", s.Points[1].Fail)
+	}
+	if got := pointLabel(s.Points[1]); got != "boom [panic]" {
+		t.Errorf("label = %q, want %q", got, "boom [panic]")
+	}
+	for _, i := range []int{0, 2} {
+		if s.Points[i].Fail != "" || s.Points[i].Result.Events == 0 {
+			t.Errorf("healthy cell %d damaged: fail=%q events=%d", i, s.Points[i].Fail, s.Points[i].Result.Events)
+		}
+	}
+	// The raw error carries the cell coordinates and the panic stack.
+	out := (&Supervisor{}).runCell(replayJob{cfg: bad, tr: rec.Trace, label: "boom"}, CellKey{Trace: 1, Config: 2})
+	var pe *ReplayPanicError
+	if !errors.As(out.err, &pe) {
+		t.Fatalf("err = %v, want ReplayPanicError", out.err)
+	}
+	if pe.Cell != (CellKey{Trace: 1, Config: 2}) || pe.Label != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("panic error missing coordinates: %+v", pe)
+	}
+}
+
+// TestBudgetContainment: a supervised cell that exhausts its event budget
+// becomes a marked row, not a sweep abort, and the slice size does not leak
+// into the reported budget error.
+func TestBudgetContainment(t *testing.T) {
+	w := tinyWorkload()
+	rec, err := Record(AlgGNUSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NodeFor(w.Threads, 8, w.SP)
+	cfg.MaxEvents = 999
+	s, err := Sweep{Title: "budget"}.collect(&Supervisor{Slice: 100}, 1,
+		[]replayJob{{cfg: cfg, tr: rec.Trace}}, []SweepPoint{{Label: "starved"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed() != 1 || s.Points[0].Fail != "budget" {
+		t.Fatalf("Fail = %q (failed %d), want budget", s.Points[0].Fail, s.Failed())
+	}
+}
+
+// TestDeterministicRetry pins the retry loop: attempts are counted, the
+// reseeding chain is pure (two identical supervised runs agree bit for
+// bit), and exhausted retries degrade to the tolerated MemFault outcome.
+func TestDeterministicRetry(t *testing.T) {
+	w := tinyWorkload()
+	rec, err := Record(AlgGNUSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NodeFor(w.Threads, 8, w.SP)
+	// Every far read faults, nothing is correctable, every fault is stuck:
+	// each attempt ends in a MemFault, so the supervisor runs the full
+	// retry budget and then tolerates the outcome as data.
+	cfg.Fault = fault.Config{Seed: 99, BitErrorRate: 1, UncorrectableFrac: 1, StuckFrac: 1}
+
+	run := func() replayOut {
+		sup := &Supervisor{Retries: 2, RetrySeed: 7}
+		keys, err := sup.cellKeys([]replayJob{{cfg: cfg, tr: rec.Trace}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sup.runCell(replayJob{cfg: cfg, tr: rec.Trace, label: "faulty"}, keys[0])
+	}
+	a, b := run(), run()
+	if a.err != nil {
+		t.Fatalf("retry-exhausted cell must tolerate MemFault, got %v", a.err)
+	}
+	if !a.memFault {
+		t.Error("memFault flag not set after exhausted retries")
+	}
+	if a.attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 initial + 2 retries)", a.attempts)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("retry chain not deterministic:\n%+v\n%+v", a, b)
+	}
+	// Zero retries must match the historical runTolerant outcome exactly.
+	sup := &Supervisor{}
+	keys, err := sup.cellKeys([]replayJob{{cfg: cfg, tr: rec.Trace}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sup.runCell(replayJob{cfg: cfg, tr: rec.Trace}, keys[0])
+	res, mf, err := runTolerant(cfg, rec.Trace)
+	if err != nil || !mf {
+		t.Fatalf("runTolerant: mf=%v err=%v", mf, err)
+	}
+	if got.err != nil || !got.memFault || fmt.Sprintf("%+v", got.res) != fmt.Sprintf("%+v", res) {
+		t.Errorf("supervised MemFault outcome differs from runTolerant")
+	}
+}
+
+// TestCancellationSkipsCells: a context cancelled before the sweep starts
+// cancels every cell, with the cause reachable through errors.Is.
+func TestCancellationSkipsCells(t *testing.T) {
+	w := tinyWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw := w
+	sw.Sup = &Supervisor{Ctx: ctx}
+	s, err := BandwidthSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed() != len(s.Points) {
+		t.Fatalf("Failed() = %d, want all %d", s.Failed(), len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Fail != "cancelled" {
+			t.Errorf("cell %q: Fail = %q, want cancelled", p.Label, p.Fail)
+		}
+	}
+	// The raw cell error unwraps to the context cause.
+	out := sw.Sup.runCell(replayJob{cfg: NodeFor(w.Threads, 8, w.SP)}, CellKey{})
+	if !errors.Is(out.err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", out.err)
+	}
+}
+
+// TestTimelineSupervised: telemetry cells run under the supervisor but
+// never consult the manifest — the recorder must actually record on every
+// run, including one whose manifest already holds other cells.
+func TestTimelineSupervised(t *testing.T) {
+	w := tinyWorkload()
+	man := NewManifest(filepath.Join(t.TempDir(), "m.json"))
+	sw := w
+	sw.Sup = &Supervisor{Manifest: man}
+	res1, tel1, err := RunTimeline(AlgNMSort, sw, 8, 50*units.Microsecond, fault.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, tel2, err := RunTimeline(AlgNMSort, sw, 8, 50*units.Microsecond, fault.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel1 == nil || tel2 == nil {
+		t.Fatal("telemetry recorder missing")
+	}
+	if res1.SimTime != res2.SimTime || res1.Events != res2.Events {
+		t.Errorf("supervised timeline not deterministic: %+v vs %+v", res1, res2)
+	}
+	if man.Len() != 0 {
+		t.Errorf("telemetry cells leaked into the manifest: %d entries", man.Len())
+	}
+}
+
+// TestManifestRoundTrip: complete → reopen → lookup returns the identical
+// cell, including the full nested machine.Result.
+func TestManifestRoundTrip(t *testing.T) {
+	w := tinyWorkload()
+	rec, err := Record(AlgGNUSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NodeFor(w.Threads, 8, w.SP)
+	res, err := machine.Run(cfg, rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := NewManifest(path)
+	key := CellKey{Trace: 0xAB, Config: 0xCD}
+	if err := m.complete(key, manifestCell{MemFault: true, Attempts: 2, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := re.lookup(key)
+	if !ok {
+		t.Fatal("completed cell missing after reopen")
+	}
+	if fmt.Sprintf("%+v", got.Result) != fmt.Sprintf("%+v", res) || !got.MemFault || got.Attempts != 2 {
+		t.Errorf("cell did not round-trip:\ngot  %+v\nwant %+v", got.Result, res)
+	}
+}
+
+// TestManifestCorruption: every tampered form of the file is rejected with
+// ErrManifestCorrupt; a missing file is an empty manifest, not an error.
+func TestManifestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	m := NewManifest(path)
+	if err := m.complete(CellKey{Trace: 1, Config: 2}, manifestCell{Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	missing, err := OpenManifest(filepath.Join(dir, "nope.json"))
+	if err != nil || missing.Len() != 0 {
+		t.Fatalf("missing file: len=%d err=%v, want empty manifest", missing.Len(), err)
+	}
+
+	cases := map[string][]byte{
+		"not json":      []byte("]{"),
+		"bad version":   []byte(strings.Replace(string(raw), `"version": 1`, `"version": 9`, 1)),
+		"flipped cell":  []byte(strings.Replace(string(raw), `"attempts": 1`, `"attempts": 7`, 1)),
+		"bad checksum":  []byte(strings.Replace(string(raw), `"crc64": "`, `"crc64": "0`, 1)),
+		"bad trace key": []byte(strings.Replace(string(raw), `"trace": "0`, `"trace": "z`, 1)),
+	}
+	for name, mut := range cases {
+		p := filepath.Join(dir, "corrupt.json")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenManifest(p); !errors.Is(err, ErrManifestCorrupt) {
+			t.Errorf("%s: err = %v, want ErrManifestCorrupt", name, err)
+		}
+	}
+}
+
+// TestCellKeyStability: the key is content-addressed — equal traces and
+// configs agree across processes and shard settings, different content
+// disagrees.
+func TestCellKeyStability(t *testing.T) {
+	w := tinyWorkload()
+	rec, err := Record(AlgGNUSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NodeFor(w.Threads, 8, w.SP)
+	sup := &Supervisor{}
+	keys, err := sup.cellKeys([]replayJob{{cfg: cfg, tr: rec.Trace}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := cfg
+	sharded.Shards = 4
+	keys2, err := sup.cellKeys([]replayJob{{cfg: sharded, tr: rec.Trace}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] != keys2[0] {
+		t.Errorf("Shards leaked into the cell key: %v vs %v", keys[0], keys2[0])
+	}
+	other := cfg
+	other.MaxEvents = 12345
+	keys3, err := sup.cellKeys([]replayJob{{cfg: other, tr: rec.Trace}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] == keys3[0] {
+		t.Error("config change did not change the cell key")
+	}
+	if got, want := (CellKey{Trace: 0xAB, Config: 0xCD}).String(), "t00000000000000ab-c00000000000000cd"; got != want {
+		t.Errorf("key format drifted: %q, want %q", got, want)
+	}
+}
+
+// TestTable1Supervised: Table1 under a do-nothing supervisor matches the
+// unsupervised golden table byte for byte, and a supervised failure leaves
+// a marked row with a non-zero Failed count instead of an abort.
+func TestTable1Supervised(t *testing.T) {
+	w := tinyWorkload()
+	golden, err := Table1(w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := w
+	sw.Sup = &Supervisor{}
+	got, err := Table1(sw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed() != 0 {
+		t.Fatalf("Failed() = %d", got.Failed())
+	}
+	if got.String() != golden.String() {
+		t.Errorf("supervised Table1 differs:\n%s\nwant:\n%s", got.String(), golden.String())
+	}
+
+	// Starve the table's replays: every row fails, none aborts.
+	bw := sw
+	bw.MaxEvents = 9
+	starved, err := Table1(bw, false)
+	if err != nil {
+		t.Fatalf("supervised table aborted: %v", err)
+	}
+	if starved.Failed() != len(starved.Rows) {
+		t.Errorf("Failed() = %d, want %d", starved.Failed(), len(starved.Rows))
+	}
+	for _, r := range starved.Rows {
+		if !strings.Contains(r.Name, "[budget]") {
+			t.Errorf("row %q not budget-marked", r.Name)
+		}
+	}
+}

@@ -23,6 +23,12 @@ type SweepPoint struct {
 	Rate     float64 // far-memory bit error rate (fault sweeps)
 	Slowdown float64 // sim time over the same algorithm's fault-free run
 	MemFault bool    // the replay returned uncorrected data
+
+	// Fail is the supervised failure kind ("panic", "cancelled",
+	// "budget", "stall", "error") when this point's replay did not
+	// complete; empty on success. Failed points keep their place in the
+	// series with a marked label instead of aborting the sweep.
+	Fail string
 }
 
 // Sweep is a labelled series of simulation results. Plain sweeps and fault
@@ -38,6 +44,23 @@ type Sweep struct {
 	// it is deliberately excluded from String/Report so rendered output
 	// stays byte-identical at every worker count.
 	Par int
+}
+
+// Failed counts points whose supervised replay did not complete. Zero for
+// every unsupervised sweep (failures abort those instead).
+func (s Sweep) Failed() int {
+	n := 0
+	for _, p := range s.Points {
+		if p.Fail != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// pointLabel renders a point's label with its MemFault and failure marks.
+func pointLabel(p SweepPoint) string {
+	return report.FailMark(mark(p.Label, p.MemFault), p.Fail)
 }
 
 // Report converts the sweep into a renderable table (text/CSV/markdown).
@@ -56,7 +79,7 @@ func (s Sweep) Report() *report.Table {
 	t := report.New(s.Title, cols...)
 	for _, p := range s.Points {
 		f := p.Result.Faults
-		row := []any{mark(p.Label, p.MemFault), p.Cores, p.Rho}
+		row := []any{pointLabel(p), p.Cores, p.Rho}
 		if s.FaultAxis {
 			row = append(row, fmt.Sprintf("%.0e", p.Rate), fmt.Sprintf("%.3f", p.Slowdown))
 		}
@@ -91,7 +114,7 @@ func (s Sweep) String() string {
 	b.WriteByte('\n')
 	for _, p := range s.Points {
 		f := p.Result.Faults
-		fmt.Fprintf(&b, "%-24s %8d %6.1f", mark(p.Label, p.MemFault), p.Cores, p.Rho)
+		fmt.Fprintf(&b, "%-24s %8d %6.1f", pointLabel(p), p.Cores, p.Rho)
 		if s.FaultAxis {
 			fmt.Fprintf(&b, " %8.0e %8.3fx", p.Rate, p.Slowdown)
 		}
@@ -134,7 +157,7 @@ func (s Sweep) phaseBreakdown() string {
 				share = 100 * float64(ph.Duration()) / float64(total)
 			}
 			fmt.Fprintf(&b, "  %-24s %-18s %5.1f%% %9.2f %5.1f%% %9.2f %5.1f%%\n",
-				mark(label, p.MemFault), ph.Name, share,
+				report.FailMark(mark(label, p.MemFault), p.Fail), ph.Name, share,
 				ph.FarGBps(), 100*ph.FarUtil(), ph.NearGBps(), 100*ph.NearUtil())
 		}
 	}
@@ -191,21 +214,30 @@ func BandwidthSweep(w Workload) (Sweep, error) {
 			})
 		}
 	}
-	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	return s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 }
 
 // collect runs the jobs on the pool and merges each outcome into its
-// pre-built point, in job order. The first fatal error aborts the sweep.
-func (s Sweep) collect(workers int, jobs []replayJob, points []SweepPoint) (Sweep, error) {
+// pre-built point, in job order. Unsupervised (sup == nil), the first
+// fatal error aborts the sweep — the historical contract. Supervised,
+// failed cells stay in the series with their failure kind recorded and
+// the sweep always completes; callers inspect Sweep.Failed().
+func (s Sweep) collect(sup *Supervisor, workers int, jobs []replayJob, points []SweepPoint) (Sweep, error) {
 	s.Par = workers
-	outs := runReplays(workers, jobs)
+	for i := range jobs {
+		// Jobs and points are parallel; carry the report label onto the
+		// job so supervised failures name their cell.
+		jobs[i].label = points[i].Label
+	}
+	outs := runReplays(sup, workers, jobs)
 	for i, o := range outs {
-		if o.err != nil {
+		if o.err != nil && sup == nil {
 			return s, o.err
 		}
 		p := points[i]
 		p.Result = o.res
 		p.MemFault = o.memFault
+		p.Fail = failKind(o.err)
 		s.Points = append(s.Points, p)
 	}
 	return s, nil
@@ -241,7 +273,7 @@ func CoreSweep(w Workload, coreCounts []int) (Sweep, error) {
 			points = append(points, SweepPoint{Label: a.name, Cores: cores, Rho: 8})
 		}
 	}
-	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	return s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 }
 
 // AblationSmallAppends compares NMsort against the scattered
@@ -285,5 +317,5 @@ func (s Sweep) ablate(w Workload, nearChannels int, algs ...Algorithm) (Sweep, e
 			Label: string(alg), Cores: w.Threads, Rho: float64(nearChannels) / 4,
 		})
 	}
-	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	return s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 }

@@ -27,11 +27,14 @@ func RunTimeline(alg Algorithm, w Workload, nearChannels int, epoch units.Time, 
 	cfg.Shards = w.Shards
 	cfg.Fault = fc
 	cfg.Telemetry = tel
-	res, _, err := runTolerant(cfg, rec.Trace)
-	if err != nil {
-		return res, nil, err
+	// One-job pool: with w.Sup set this replay is supervised like any
+	// sweep cell (sliced, panic-contained, cancellable); telemetry cells
+	// never use the manifest, so the recorder always actually records.
+	o := runReplays(w.Sup, 1, []replayJob{{cfg: cfg, tr: rec.Trace, label: string(alg)}})[0]
+	if o.err != nil {
+		return o.res, nil, o.err
 	}
-	return res, tel, nil
+	return o.res, tel, nil
 }
 
 // TimelineSweep runs the timeline experiment: NMsort and the merge baseline
@@ -61,5 +64,5 @@ func TimelineSweep(w Workload, nearChannels int, epoch units.Time) (Sweep, error
 			Rho:   float64(nearChannels) / 4,
 		})
 	}
-	return s.collect(replayPar(w.Par, len(jobs)), jobs, points)
+	return s.collect(w.Sup, replayPar(w.Par, len(jobs)), jobs, points)
 }

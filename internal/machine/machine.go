@@ -10,6 +10,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -317,6 +318,18 @@ func (m *Machine) l2Stats() cachesim.Stats {
 // Replay runs the trace to completion and returns the result. The trace
 // must have at most Config.Cores threads; thread i runs on core i.
 func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
+	return m.ReplaySliced(tr, 0, nil)
+}
+
+// ReplaySliced is Replay with cooperative preemption: the event budget is
+// spent in slices of at most `slice` events (0 means one undivided slice),
+// and between slices the pause callback runs on the replay goroutine. A
+// non-nil error from pause abandons the replay — the partial result is
+// returned with that error. Slicing is observationally invisible
+// (engine.RunBudget resume is byte-identical, pinned by engine/slice_test
+// and machine's sliced-replay tests), so a supervisor can poll deadlines
+// and cancellation between slices without perturbing simulation state.
+func (m *Machine) ReplaySliced(tr *trace.Trace, slice uint64, pause func() error) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -373,7 +386,43 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 	if budget == 0 {
 		budget = DefaultEventBudget
 	}
-	end, runErr := m.sim.RunBudget(budget)
+	sliceSize := slice
+	if sliceSize == 0 || sliceSize > budget {
+		sliceSize = budget
+	}
+	var (
+		end    units.Time
+		runErr error
+		ran    uint64
+	)
+	for {
+		step := sliceSize
+		if rem := budget - ran; step > rem {
+			step = rem
+		}
+		end, runErr = m.sim.RunBudget(step)
+		if runErr == nil {
+			break // drained: the replay completed
+		}
+		var be *engine.BudgetError
+		if !errors.As(runErr, &be) {
+			break // stall or other terminal failure
+		}
+		ran += step
+		if ran >= budget {
+			// The whole budget is spent: report the same error an unsliced
+			// RunBudget(budget) would have produced, not the last slice's.
+			runErr = &engine.BudgetError{MaxEvents: budget, LastEventAt: be.LastEventAt, Pending: be.Pending}
+			break
+		}
+		runErr = nil
+		if pause != nil {
+			if err := pause(); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
 
 	var res Result
 	res.SimTime = end

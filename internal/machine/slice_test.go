@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// TestReplaySlicedMatchesReplay: running a replay in small event-budget
+// slices with a pause callback between them must produce a Result equal in
+// every field to an undivided Replay — sequential and sharded. This is the
+// machine-level guarantee the harness supervisor's cancellation polling
+// stands on.
+func TestReplaySlicedMatchesReplay(t *testing.T) {
+	tr := shardTestTrace(t, 21, 4000, 8)
+	mk := func(shards int) Config {
+		cfg := TinyConfig(8, 2*units.MiB)
+		cfg.Shards = shards
+		return cfg
+	}
+	for _, shards := range []int{0, 2} {
+		ref, err := New(mk(shards)).Replay(tr)
+		if err != nil {
+			t.Fatalf("shards %d: reference replay: %v", shards, err)
+		}
+		want := resultKey(ref)
+		for _, slice := range []uint64{1, 97, 4096} {
+			pauses := 0
+			res, err := New(mk(shards)).ReplaySliced(tr, slice, func() error {
+				pauses++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("shards %d slice %d: %v", shards, slice, err)
+			}
+			if pauses == 0 {
+				t.Fatalf("shards %d slice %d: pause never ran — test not exercising resume", shards, slice)
+			}
+			if got := resultKey(res); got != want {
+				t.Errorf("shards %d slice %d: result diverged\n got %s\nwant %s", shards, slice, got, want)
+			}
+		}
+	}
+}
+
+// TestReplaySlicedBudgetError: when the total budget exhausts across
+// slices, the returned error must be indistinguishable from the one an
+// unsliced Replay produces — same MaxEvents, last-event time, and pending
+// count — so supervised and plain sweeps classify runaways identically.
+func TestReplaySlicedBudgetError(t *testing.T) {
+	tr := shardTestTrace(t, 9, 2000, 8)
+	cfg := TinyConfig(8, 2*units.MiB)
+	cfg.MaxEvents = 500
+	_, refErr := New(cfg).Replay(tr)
+	var refBE *engine.BudgetError
+	if !errors.As(refErr, &refBE) {
+		t.Fatalf("reference error %v, want BudgetError", refErr)
+	}
+	for _, slice := range []uint64{7, 100, 499, 500, 1000} {
+		_, err := New(cfg).ReplaySliced(tr, slice, func() error { return nil })
+		if fmt.Sprint(err) != fmt.Sprint(refErr) {
+			t.Fatalf("slice %d: budget error %q, want %q", slice, err, refErr)
+		}
+	}
+}
+
+// TestReplaySlicedPauseAbandons: a pause error abandons the replay — the
+// error comes back verbatim (errors.Is-reachable) with the partial result.
+func TestReplaySlicedPauseAbandons(t *testing.T) {
+	tr := shardTestTrace(t, 3, 2000, 8)
+	cause := errors.New("deadline exceeded")
+	calls := 0
+	res, err := New(TinyConfig(8, 2*units.MiB)).ReplaySliced(tr, 50, func() error {
+		calls++
+		if calls == 3 {
+			return cause
+		}
+		return nil
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the pause error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("pause ran %d times after returning an error, want exactly 3", calls)
+	}
+	if res.Events == 0 {
+		t.Fatal("partial result carries no executed events")
+	}
+}

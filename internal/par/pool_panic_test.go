@@ -1,0 +1,76 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPoolPanicPropagation pins the pool's panic contract under real
+// concurrency (run with -race): one worker panics while the others are
+// still parked in the dispatch — some panic later, some return normally —
+// and Do must (a) wait for every worker before raising, (b) re-raise the
+// lowest-indexed panic deterministically, and (c) leave the pool reusable.
+func TestPoolPanicPropagation(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+
+	for round := 0; round < 50; round++ {
+		// release opens once worker 2 has panicked, so workers 0 and 1 are
+		// provably blocked mid-dispatch while a panic is already captured.
+		release := make(chan struct{})
+		var once sync.Once
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			p.Do(func(k int) {
+				switch k {
+				case 2:
+					once.Do(func() { close(release) })
+					panic(fmt.Sprintf("w2-round%d", round))
+				case 0:
+					<-release
+					panic("w0")
+				case 1:
+					<-release // returns normally after the first panic
+				}
+			})
+			return nil
+		}()
+		// Worker 0's panic wins despite worker 2 panicking first in time:
+		// the tie-break is by index, not arrival order.
+		if got != "w0" {
+			t.Fatalf("round %d: recovered %v, want w0", round, got)
+		}
+
+		// The pool must be clean for the next dispatch: no stale panics,
+		// no stuck workers, results visible after Do (happens-before).
+		sums := make([]int, p.Workers())
+		p.Do(func(k int) { sums[k] = k + 1 })
+		for k, s := range sums {
+			if s != k+1 {
+				t.Fatalf("round %d: worker %d result %d after panic round", round, k, s)
+			}
+		}
+	}
+}
+
+// TestPoolSinglePanicIdentity: a lone panic re-raises with its value
+// untouched, including non-string values.
+func TestPoolSinglePanicIdentity(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	type marker struct{ n int }
+	val := marker{n: 41}
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		p.Do(func(k int) {
+			if k == 3 {
+				panic(val)
+			}
+		})
+		return nil
+	}()
+	if got != val {
+		t.Fatalf("recovered %#v, want %#v", got, val)
+	}
+}

@@ -47,6 +47,18 @@ func (t *Table) AddRowf(values ...any) {
 	t.AddRow(cells...)
 }
 
+// FailMark annotates a row label with a supervised-replay failure kind
+// ("panic", "stall", "budget", "cancelled", "error"): the cell stays in
+// the table as a marked row instead of aborting the sweep. An empty kind
+// returns the label unchanged, so successful cells render identically to
+// an unsupervised run.
+func FailMark(label, kind string) string {
+	if kind == "" {
+		return label
+	}
+	return label + " [" + kind + "]"
+}
+
 // Format identifies an output encoding.
 type Format string
 

@@ -62,6 +62,22 @@ func FuzzReadTrace(f *testing.F) {
 			refreshChecksum(mut)
 			f.Add(mut)
 		}
+		// Truncated prefixes model torn partial writes (a crashed
+		// recorder, an interrupted copy): cuts inside the checksum tail,
+		// mid-ops, mid-header, and the empty stream.
+		for _, cut := range []int{len(seed) - 3, len(seed) / 2, 9, 0} {
+			if cut >= 0 && cut < len(seed) {
+				f.Add(bytes.Clone(seed[:cut]))
+			}
+		}
+		// A torn prefix whose checksum was refreshed crosses the CRC gate
+		// and fails deeper, in a body section cut mid-record.
+		if len(seed) > 24 {
+			torn := bytes.Clone(seed[:len(seed)-9])
+			torn = append(torn, make([]byte, 8)...)
+			refreshChecksum(torn)
+			f.Add(torn)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadTrace(bytes.NewReader(data))

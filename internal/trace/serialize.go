@@ -65,18 +65,33 @@ const (
 // serializing one would only manufacture an unreadable file whose failure
 // surfaces at the far end of the pipeline instead of at the writer.
 func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	n, sum, err := tr.writePayload(w)
+	if err != nil {
+		return n, err
+	}
+	// Trailing checksum (not itself checksummed).
+	if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+		return n, err
+	}
+	return n + 8, nil
+}
+
+// writePayload writes everything before the trailing checksum and returns
+// the bytes written plus the payload's CRC64 — shared between WriteTo
+// (which appends the CRC as the checksum) and Digest (which returns it).
+func (tr *Trace) writePayload(w io.Writer) (int64, uint64, error) {
 	if len(tr.Streams) == 0 {
-		return 0, fmt.Errorf("trace: refusing to serialize a trace with no threads")
+		return 0, 0, fmt.Errorf("trace: refusing to serialize a trace with no threads")
 	}
 	if len(tr.Streams) > maxThreads {
-		return 0, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", len(tr.Streams), maxThreads)
+		return 0, 0, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", len(tr.Streams), maxThreads)
 	}
 	cw := &countingWriter{w: w, crc: crc64.New(crcTable)}
 	bw := bufio.NewWriterSize(cw, 1<<20)
 
 	put := func(data any) error { return binary.Write(bw, binary.LittleEndian, data) }
 	if _, err := bw.WriteString(traceMagic); err != nil {
-		return cw.n, err
+		return cw.n, 0, err
 	}
 	hdr := []int64{
 		traceVersion,
@@ -85,25 +100,25 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 		int64(len(tr.Streams)),
 	}
 	if err := put(hdr); err != nil {
-		return cw.n, err
+		return cw.n, 0, err
 	}
 
 	var buf [3 * binary.MaxVarintLen64]byte
 	if err := put(int64(len(tr.PhaseNames))); err != nil {
-		return cw.n, err
+		return cw.n, 0, err
 	}
 	for _, name := range tr.PhaseNames {
 		n := binary.PutUvarint(buf[:], uint64(len(name)))
 		if _, err := bw.Write(buf[:n]); err != nil {
-			return cw.n, err
+			return cw.n, 0, err
 		}
 		if _, err := bw.WriteString(name); err != nil {
-			return cw.n, err
+			return cw.n, 0, err
 		}
 	}
 	for _, s := range tr.Streams {
 		if err := put(int64(len(s))); err != nil {
-			return cw.n, err
+			return cw.n, 0, err
 		}
 		var prevAddr uint64
 		for _, op := range s {
@@ -115,7 +130,7 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 				tag |= tagHasGap
 			}
 			if err := bw.WriteByte(tag); err != nil {
-				return cw.n, err
+				return cw.n, 0, err
 			}
 			n := 0
 			if op.Gap != 0 {
@@ -133,22 +148,60 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 				n += binary.PutUvarint(buf[n:], op.Addr)
 			}
 			if _, err := bw.Write(buf[:n]); err != nil {
-				return cw.n, err
+				return cw.n, 0, err
 			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return cw.n, err
+		return cw.n, 0, err
 	}
-	// Trailing checksum (not itself checksummed).
-	sum := cw.crc.Sum64()
-	if err := binary.Write(cw.w, binary.LittleEndian, sum); err != nil {
-		return cw.n, err
-	}
-	return cw.n + 8, nil
+	return cw.n, cw.crc.Sum64(), nil
 }
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Digest returns a stable 64-bit fingerprint of the trace: the CRC64-ECMA
+// of its serialized payload — the same value WriteTo appends as the
+// stream's trailing checksum, so the digest of an in-memory trace matches
+// the checksum of its file on disk. Equal digests mean byte-identical
+// streams, and therefore byte-identical replays on equal machine
+// configurations — the property the harness's sweep checkpoint manifest
+// keys cells by. (Hashing the whole stream would be wrong, not just
+// redundant: the CRC of payload‖crc(payload) is a message-independent
+// constant residue.)
+func (tr *Trace) Digest() (uint64, error) {
+	_, sum, err := tr.writePayload(io.Discard)
+	return sum, err
+}
+
+// DecodeError is the diagnosable failure every ReadTrace error path
+// produces: which section of the stream broke (header, phase table,
+// thread N ops, checksum, stream framing) and the byte offset at which
+// decoding stopped — enough to tell a torn partial write (early offset,
+// stream/checksum section) from in-body corruption without a hex dump.
+type DecodeError struct {
+	Section string // "stream", "header", "phase table", "thread N ops", "checksum"
+	Offset  int64  // byte offset into the stream where decoding stopped
+	Err     error  // underlying cause
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: %s at byte %d: %v", e.Section, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// decodeErr wraps a cause into a DecodeError.
+func decodeErr(section string, off int, err error) error {
+	return &DecodeError{Section: section, Offset: int64(off), Err: err}
+}
+
+// decodeErrf is decodeErr over a freshly formatted cause.
+func decodeErrf(section string, off int, format string, args ...any) error {
+	return decodeErr(section, off, fmt.Errorf(format, args...))
+}
 
 type countingWriter struct {
 	w   io.Writer
@@ -168,36 +221,42 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // ReadTrace deserializes a trace written by WriteTo, verifying its
 // checksum. The entire stream is buffered in memory first (traces are tens
-// of MB at most), which keeps the checksum handling trivial.
+// of MB at most), which keeps the checksum handling trivial. Every decode
+// failure is a *DecodeError naming the broken section and the byte offset
+// at which decoding stopped, so a torn partial write (a crashed recorder,
+// an interrupted copy) is diagnosable from the error alone.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading stream: %w", err)
+		return nil, decodeErr("stream", len(raw), fmt.Errorf("reading: %w", err))
 	}
 	if len(raw) < 8 {
-		return nil, fmt.Errorf("trace: truncated stream (%d bytes)", len(raw))
+		return nil, decodeErrf("stream", len(raw), "truncated stream (%d bytes, need at least the 8-byte checksum)", len(raw))
 	}
 	payload, tail := raw[:len(raw)-8], raw[len(raw)-8:]
 	want := binary.LittleEndian.Uint64(tail)
 	if got := crc64.Checksum(payload, crcTable); got != want {
-		return nil, fmt.Errorf("trace: checksum mismatch (%#x != %#x)", got, want)
+		return nil, decodeErrf("checksum", len(payload), "mismatch (%#x != %#x): torn or corrupted stream", got, want)
 	}
 
 	br := bytes.NewReader(payload)
+	// off is the current decode position within the stream, for error
+	// reporting: everything before br's remaining bytes has been consumed.
+	off := func() int { return len(payload) - br.Len() }
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, decodeErr("header", off(), fmt.Errorf("reading magic: %w", err))
 	}
 	if string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, decodeErrf("header", 0, "bad magic %q", magic)
 	}
 	hdr := make([]int64, 9)
 	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, decodeErr("header", off(), fmt.Errorf("reading fields: %w", err))
 	}
 	version := hdr[0]
 	if version != traceVersion && version != traceVersionV1 {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
+		return nil, decodeErrf("header", 4, "unsupported version %d", version)
 	}
 	// Every stream costs at least its 8-byte length field, so a thread
 	// count beyond the remaining payload can only come from corruption;
@@ -205,7 +264,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	// huge allocation.
 	threads := hdr[8]
 	if threads <= 0 || threads > maxThreads || threads > int64(br.Len())/8 {
-		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
+		return nil, decodeErrf("header", off()-8, "implausible thread count %d", threads)
 	}
 	tr := &Trace{
 		Streams: make([][]Op, threads),
@@ -223,75 +282,82 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if version >= 2 {
 		var nNames int64
 		if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
-			return nil, fmt.Errorf("trace: phase-name count: %w", err)
+			return nil, decodeErr("phase table", off(), fmt.Errorf("phase-name count: %w", err))
 		}
 		if nNames < 0 || nNames > maxPhaseNames {
-			return nil, fmt.Errorf("trace: implausible phase-name count %d", nNames)
+			return nil, decodeErrf("phase table", off()-8, "implausible phase-name count %d", nNames)
 		}
 		for i := int64(0); i < nNames; i++ {
+			at := off()
 			l, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: phase name %d length: %w", i, err)
+				return nil, decodeErr("phase table", at, fmt.Errorf("phase name %d length: %w", i, err))
 			}
 			if l > uint64(br.Len()) {
-				return nil, fmt.Errorf("trace: phase name %d length %d exceeds payload", i, l)
+				return nil, decodeErrf("phase table", at, "phase name %d length %d exceeds payload", i, l)
 			}
 			name := make([]byte, l)
 			if _, err := io.ReadFull(br, name); err != nil {
-				return nil, fmt.Errorf("trace: phase name %d: %w", i, err)
+				return nil, decodeErr("phase table", at, fmt.Errorf("phase name %d: %w", i, err))
 			}
 			tr.PhaseNames = append(tr.PhaseNames, string(name))
 		}
 	}
 
 	for t := int64(0); t < threads; t++ {
+		at := off()
 		var nOps int64
 		if err := binary.Read(br, binary.LittleEndian, &nOps); err != nil {
-			return nil, fmt.Errorf("trace: thread %d length: %w", t, err)
+			return nil, decodeErr(threadSection(t), at, fmt.Errorf("op count: %w", err))
 		}
 		// Each op occupies at least its tag byte, so the remaining
 		// payload bounds the count; this rejects corrupt lengths before
 		// the allocation they would inflate.
 		if nOps < 0 || nOps > int64(br.Len()) {
-			return nil, fmt.Errorf("trace: implausible op count %d", nOps)
+			return nil, decodeErrf(threadSection(t), at, "implausible op count %d", nOps)
 		}
 		ops := make([]Op, nOps)
-		if err := decodeOps(br, ops, t); err != nil {
+		if err := decodeOps(br, ops, t, len(payload)); err != nil {
 			return nil, err
 		}
 		tr.Streams[t] = ops
 	}
 	if br.Len() != 0 {
-		return nil, fmt.Errorf("trace: %d trailing payload bytes", br.Len())
+		return nil, decodeErrf("stream", off(), "%d trailing payload bytes", br.Len())
 	}
 	return tr, nil
 }
 
+// threadSection names thread t's op section for DecodeError reporting.
+func threadSection(t int64) string { return fmt.Sprintf("thread %d ops", t) }
+
 // decodeOps decodes thread t's op stream into ops, which the caller sized
-// from the validated per-thread count. This is the replay pipeline's decode
-// hot loop — tens of millions of iterations for the Table I traces — so it
-// fills the caller-allocated slice in place and allocates only on the error
-// exits.
+// from the validated per-thread count; plen is the payload length, used to
+// recover the byte offset of a broken op from br's remaining length. This
+// is the replay pipeline's decode hot loop — tens of millions of
+// iterations for the Table I traces — so it fills the caller-allocated
+// slice in place and allocates only on the error exits.
 //
 //nmlint:hotpath
-func decodeOps(br *bytes.Reader, ops []Op, t int64) error {
+func decodeOps(br *bytes.Reader, ops []Op, t int64, plen int) error {
 	var prevAddr uint64
 	for i := range ops {
+		at := plen - br.Len()
 		tag, err := br.ReadByte()
 		if err != nil {
-			return fmt.Errorf("trace: thread %d op %d: %w", t, i, err)
+			return decodeErr(threadSection(t), at, fmt.Errorf("op %d tag: %w", i, err))
 		}
 		if tag&tagReserved != 0 {
-			return fmt.Errorf("trace: thread %d op %d: reserved tag bits %#x set", t, i, tag&tagReserved)
+			return decodeErrf(threadSection(t), at, "op %d: reserved tag bits %#x set", i, tag&tagReserved)
 		}
 		op := Op{Kind: Kind(tag & tagKindMask), Write: tag&tagWrite != 0}
 		if tag&tagHasGap != 0 {
 			g, err := binary.ReadUvarint(br)
 			if err != nil {
-				return fmt.Errorf("trace: gap: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d gap: %w", i, err))
 			}
 			if g > uint64(^uint32(0)) {
-				return fmt.Errorf("trace: gap %d overflows", g)
+				return decodeErrf(threadSection(t), at, "op %d gap %d overflows", i, g)
 			}
 			op.Gap = uint32(g)
 		}
@@ -299,36 +365,36 @@ func decodeOps(br *bytes.Reader, ops []Op, t int64) error {
 		case OpAccess, OpAtomic:
 			d, err := binary.ReadVarint(br)
 			if err != nil {
-				return fmt.Errorf("trace: addr delta: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d addr delta: %w", i, err))
 			}
 			op.Addr = prevAddr + uint64(d)
 			prevAddr = op.Addr
 		case OpDMA:
 			if op.Addr, err = binary.ReadUvarint(br); err != nil {
-				return fmt.Errorf("trace: dma src: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d dma src: %w", i, err))
 			}
 			if op.Addr2, err = binary.ReadUvarint(br); err != nil {
-				return fmt.Errorf("trace: dma dst: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d dma dst: %w", i, err))
 			}
 			sz, err := binary.ReadUvarint(br)
 			if err != nil {
-				return fmt.Errorf("trace: dma size: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d dma size: %w", i, err))
 			}
 			// Mirror the gap overflow check: silently truncating to
 			// uint32 would decode a corrupt stream into a different
 			// (smaller) workload instead of rejecting it.
 			if sz > uint64(^uint32(0)) {
-				return fmt.Errorf("trace: dma size %d overflows", sz)
+				return decodeErrf(threadSection(t), at, "op %d dma size %d overflows", i, sz)
 			}
 			op.Size = uint32(sz)
 		case OpPhase:
 			if op.Addr, err = binary.ReadUvarint(br); err != nil {
-				return fmt.Errorf("trace: phase id: %w", err)
+				return decodeErr(threadSection(t), at, fmt.Errorf("op %d phase id: %w", i, err))
 			}
 		case OpBarrier, OpDMAWait, OpGap, OpEnd:
 			// tag only
 		default:
-			return fmt.Errorf("trace: unknown op kind %d", op.Kind)
+			return decodeErrf(threadSection(t), at, "op %d: unknown op kind %d", i, op.Kind)
 		}
 		ops[i] = op
 	}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc64"
 	"strings"
 	"testing"
@@ -315,5 +316,109 @@ func TestSerializeRejectsReservedTagBits(t *testing.T) {
 	}
 	if op := got.Streams[0][0]; op.Kind != OpEnd {
 		t.Errorf("decoded op = %+v, want OpEnd", op)
+	}
+}
+
+// TestDecodeErrorSections: every decode failure is a *DecodeError naming
+// the broken section and a byte offset inside the stream, so a torn or
+// corrupted file is diagnosable from the error text alone.
+func TestDecodeErrorSections(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seed := buf.Bytes()
+
+	corrupt := func(at int, v uint64) []byte {
+		mut := bytes.Clone(seed)
+		putLE64(mut[at:], v)
+		refreshChecksum(mut)
+		return mut
+	}
+	const (
+		offThreads   = 4 + 8*8 // hdr[8]
+		offNameCount = 4 + 9*8 // v2 phase-name count
+		offOpCount   = 4 + 10*8
+	)
+	cases := []struct {
+		name    string
+		raw     []byte
+		section string
+		offset  int64
+	}{
+		{"empty stream", nil, "stream", 0},
+		{"truncated below checksum", seed[:5], "stream", 5},
+		{"checksum mismatch", func() []byte {
+			mut := bytes.Clone(seed)
+			mut[len(mut)/2] ^= 0xff
+			return mut
+		}(), "checksum", int64(len(seed) - 8)},
+		{"bad magic", func() []byte {
+			mut := bytes.Clone(seed)
+			mut[0] = 'X'
+			refreshChecksum(mut)
+			return mut
+		}(), "header", 0},
+		{"implausible thread count", corrupt(offThreads, 1<<19), "header", offThreads},
+		{"implausible phase-name count", corrupt(offNameCount, 1<<13), "phase table", offNameCount},
+		{"implausible op count", corrupt(offOpCount, 1<<33), "thread 0 ops", offOpCount},
+		{"torn ops body", func() []byte {
+			// Cut the last op byte and graft a fresh checksum: the CRC
+			// gate passes and decoding fails inside a thread section.
+			torn := bytes.Clone(seed[:len(seed)-9])
+			torn = append(torn, make([]byte, 8)...)
+			refreshChecksum(torn)
+			return torn
+		}(), "thread 2 ops", -1},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(bytes.NewReader(tc.raw))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("%s: error %v is not a *DecodeError", tc.name, err)
+			continue
+		}
+		if de.Section != tc.section {
+			t.Errorf("%s: section %q, want %q (err: %v)", tc.name, de.Section, tc.section, err)
+		}
+		if tc.offset >= 0 && de.Offset != tc.offset {
+			t.Errorf("%s: offset %d, want %d (err: %v)", tc.name, de.Offset, tc.offset, err)
+		}
+		if tc.offset < 0 && (de.Offset <= 0 || de.Offset > int64(len(tc.raw))) {
+			t.Errorf("%s: offset %d out of stream bounds", tc.name, de.Offset)
+		}
+		if !strings.Contains(err.Error(), "at byte") {
+			t.Errorf("%s: error text %q lacks the byte offset", tc.name, err)
+		}
+	}
+}
+
+// TestDigestStability: Digest is a pure function of the serialized bytes —
+// stable across calls, sensitive to any op change.
+func TestDigestStability(t *testing.T) {
+	tr := sampleTrace(t)
+	d1, err := tr.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := tr.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not stable: %#x != %#x", d1, d2)
+	}
+	tr.Streams[0][0].Gap++
+	d3, err := tr.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("digest unchanged after op mutation")
 	}
 }

@@ -12,7 +12,10 @@
 #   5. go test ./...                  full test suite (includes the
 #                                     record→replay determinism regression)
 #   6. go test -race -short ./...     race detector over the short suite
-#   7. fuzz smoke                     10s of FuzzReadTrace on the trace
+#   7. chaos smoke                    the short-mode interrupt/resume chaos
+#                                     test: sweeps killed at seeded slice
+#                                     boundaries must resume byte-identically
+#   8. fuzz smoke                     10s of FuzzReadTrace on the trace
 #                                     decoder (no panics on hostile bytes)
 #
 # Any stage failing fails the whole script. Run from anywhere inside the
@@ -32,6 +35,7 @@ step go run ./cmd/nmlint -escape-check ./...
 step go vet ./...
 step go test ./...
 step go test -race -short ./...
+step go test -run='^TestChaosInterruptResume$' -short -count=1 ./internal/harness
 step go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/trace
 
 echo "== all checks passed =="
