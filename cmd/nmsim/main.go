@@ -19,6 +19,7 @@
 //	nmsim [-n keys] [-cores n] [-sp MiB] [-seed s] [-dma]
 //	      [-fault-seed s] [-fault-rate r] [-max-events n] [-par n] [-shards n]
 //	      [-telemetry-out f.trace.json] [-telemetry-csv f.csv] [-telemetry-epoch dur]
+//	nmsim -server http://127.0.0.1:8080 [-job-timeout dur]
 package main
 
 import (
@@ -30,11 +31,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -72,6 +75,9 @@ type options struct {
 
 	cpuProfile string
 	memProfile string
+
+	server     string
+	jobTimeout time.Duration
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -95,6 +101,8 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.StringVar(&o.telemetryOut, "telemetry-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the NMsort replay to this file")
 	fs.StringVar(&o.telemetryCSV, "telemetry-csv", "", "write the sampled time series of the NMsort replay to this CSV file")
 	fs.StringVar(&o.telemetryEpoch, "telemetry-epoch", "10us", "telemetry sampling resolution in simulated time (e.g. 500ns, 10us)")
+	fs.StringVar(&o.server, "server", "", "run Table I on this nmsimd daemon (e.g. http://127.0.0.1:8080) instead of in-process; the printed table is byte-identical")
+	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "HTTP deadline for the -server request (0 = none)")
 	err := fs.Parse(args)
 	return o, fs, err
 }
@@ -117,6 +125,23 @@ func (o options) validate() error {
 		return fmt.Errorf("-par %d is negative (0 means GOMAXPROCS)", o.par)
 	case o.shards < -1:
 		return fmt.Errorf("-shards %d is invalid (0 = sequential engine, -1 = auto)", o.shards)
+	case o.jobTimeout < 0:
+		return fmt.Errorf("-job-timeout %v is negative", o.jobTimeout)
+	case o.jobTimeout > 0 && o.server == "":
+		return fmt.Errorf("-job-timeout requires -server")
+	}
+	if o.server != "" {
+		if err := serve.ValidateServerURL(o.server); err != nil {
+			return err
+		}
+		switch {
+		case o.telemetry():
+			return fmt.Errorf("-telemetry-out/-telemetry-csv are local-only and conflict with -server (stream jobs via the API instead)")
+		case o.n == 0:
+			return fmt.Errorf("-n 0 cannot travel to -server (the wire treats 0 as the default %d)", 1<<20)
+		case o.seed == 0:
+			return fmt.Errorf("-seed 0 cannot travel to -server (the wire treats 0 as the default 2015)")
+		}
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -147,11 +172,46 @@ func (o options) faultConfig() fault.Config {
 	return fault.Profile(o.faultSeed, o.faultRate)
 }
 
+// runRemote ships Table I to an nmsimd daemon and prints the returned
+// table verbatim; the daemon runs the same Table1Faults code, so the
+// bytes match the in-process path.
+func runRemote(ctx context.Context, o options, w io.Writer) (int, error) {
+	if o.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.jobTimeout)
+		defer cancel()
+	}
+	c := &serve.Client{BaseURL: o.server}
+	body, failed, err := c.Sweep(ctx, serve.SweepRequest{
+		Exp:       "table1",
+		N:         o.n,
+		Seed:      o.seed,
+		Cores:     o.cores,
+		SPMiB:     o.spMiB,
+		Format:    o.format,
+		DMA:       o.dma,
+		Dist:      o.dist,
+		FaultSeed: o.faultSeed,
+		FaultRate: o.faultRate,
+		MaxEvents: o.maxEvents,
+		Par:       o.par,
+		Shards:    o.shards,
+	})
+	if err != nil {
+		return 0, err
+	}
+	_, err = w.Write(body)
+	return failed, err
+}
+
 // run executes the experiment under supervision and writes the table to w,
 // including after cancellation, when the partially-filled table (with
 // marked rows) is the graceful-shutdown flush. It returns the count of
 // replays that did not complete.
 func run(ctx context.Context, o options, w io.Writer) (int, error) {
+	if o.server != "" {
+		return runRemote(ctx, o, w)
+	}
 	f, _ := report.ParseFormat(o.format)
 	d, _ := workload.Parse(o.dist)
 	wl := harness.Workload{

@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -38,6 +40,16 @@ func TestValidate(t *testing.T) {
 		{"valid shards", []string{"-shards", "4"}, ""},
 		{"valid shards auto", []string{"-shards", "-1"}, ""},
 		{"valid profiles", []string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, ""},
+		{"valid server", []string{"-server", "http://127.0.0.1:8080"}, ""},
+		{"valid server with timeout", []string{"-server", "http://127.0.0.1:8080", "-job-timeout", "1m"}, ""},
+		{"server bad scheme", []string{"-server", "unix:///tmp/s"}, "http"},
+		{"server no host", []string{"-server", "https://"}, "host"},
+		{"job-timeout without server", []string{"-job-timeout", "5s"}, "-job-timeout requires -server"},
+		{"negative job-timeout", []string{"-server", "http://h:1", "-job-timeout", "-1s"}, "-job-timeout"},
+		{"server conflicts telemetry", []string{"-server", "http://h:1", "-telemetry-out", "t.json"}, "-telemetry-out"},
+		{"server conflicts telemetry csv", []string{"-server", "http://h:1", "-telemetry-csv", "t.csv"}, "-telemetry-out"},
+		{"server zero n", []string{"-server", "http://h:1", "-n", "0"}, "-n 0"},
+		{"server zero seed", []string{"-server", "http://h:1", "-seed", "0"}, "-seed 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,6 +116,40 @@ func TestRunSmall(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "NMsort") {
 		t.Errorf("output missing NMsort rows:\n%s", b.String())
+	}
+}
+
+// TestRunRemoteMatchesLocal is the client-parity check: the same flags
+// through -server against an in-process nmsimd stack print the same bytes
+// as the local path.
+func TestRunRemoteMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	hs := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer hs.Close()
+	args := []string{"-n", "4096", "-cores", "8", "-sp", "1", "-seed", "7"}
+	var local, remote strings.Builder
+	for _, pass := range []struct {
+		extra []string
+		out   *strings.Builder
+	}{
+		{nil, &local},
+		{[]string{"-server", hs.URL}, &remote},
+	} {
+		o, _, err := parseFlags(append(args, pass.extra...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := run(context.Background(), o, pass.out); err != nil {
+			t.Fatalf("run(%v): %v", pass.extra, err)
+		}
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("remote table differs from local:\n--- local\n%s\n--- remote\n%s", local.String(), remote.String())
 	}
 }
 

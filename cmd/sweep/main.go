@@ -9,6 +9,7 @@
 //	sweep -exp=faults [-fault-seed s] [-fault-rates r1,r2,...]
 //	sweep -exp=timeline [-epoch dur]
 //	sweep -exp=bandwidth -manifest run.json [-resume] [-slice n] [-retries n] [-timeout dur]
+//	sweep -exp=bandwidth -server http://127.0.0.1:8080 [-job-timeout dur]
 //
 // Every replay runs under the supervised runtime: SIGINT/SIGTERM (or
 // -timeout) cancels the sweep at the next slice boundary and the partial
@@ -34,6 +35,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/units"
 )
 
@@ -47,90 +49,47 @@ const (
 	exitInterrupted = 130
 )
 
-// experiment is one registered -exp value: its one-line description (the
-// usage text is generated from these) and its runner.
-type experiment struct {
-	name string
-	desc string
-	run  func(o options, w harness.Workload) (harness.Sweep, error)
-}
-
-// experiments is the registry, in display order. Adding an experiment here
-// is the whole job: -exp validation and the usage text follow.
-var experiments = []experiment{
-	{"bandwidth", "claim C1 — NMsort's runtime falls as near bandwidth rises 2X→8X; the baseline is insensitive",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			return harness.BandwidthSweep(w)
-		}},
-	{"cores", "claim C2 — the scratchpad pays off in the memory-bound regime (256 cores) and not below it",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			cc, err := parseCoreList(o.list)
-			if err != nil {
-				return harness.Sweep{}, err
-			}
-			return harness.CoreSweep(w, cc)
-		}},
-	{"dma", "experiment A2 — the §VII DMA-engine extension",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			return harness.AblationDMA(w, 16)
-		}},
-	{"appends", "experiment A1 — bucket-metadata batching ablation",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			return harness.AblationSmallAppends(w, 16)
-		}},
-	{"kmeans", "the §VII k-means extension",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			kw := harness.DefaultKMeans()
-			kw.Th = o.cores
-			kw.Par = w.Par
-			kw.Sup = w.Sup
-			return harness.KMeansSweep(kw)
-		}},
-	{"faults", "experiment F1 — slowdown, retry counts, and MemFault outcomes vs. the far memory's error rate",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			rates, err := parseRates(o.faultRates)
-			if err != nil {
-				return harness.Sweep{}, err
-			}
-			return harness.RunFaultSweep(w, 16, o.faultSeed, rates)
-		}},
-	{"timeline", "telemetry-instrumented replay at 4X — per-phase bandwidth and utilization, NMsort vs. the baseline",
-		func(o options, w harness.Workload) (harness.Sweep, error) {
-			epoch, err := units.ParseTime(o.epoch)
-			if err != nil {
-				return harness.Sweep{}, err
-			}
-			return harness.TimelineSweep(w, 16, epoch)
-		}},
-}
-
-// findExperiment looks a name up in the registry.
-func findExperiment(name string) (experiment, bool) {
-	for _, e := range experiments {
-		if e.name == name {
-			return e, true
-		}
-	}
-	return experiment{}, false
-}
-
-// experimentNames returns the registered names in display order.
-func experimentNames() []string {
-	names := make([]string, len(experiments))
-	for i, e := range experiments {
-		names[i] = e.name
-	}
-	return names
-}
+// The experiment registry lives in harness.Experiments — shared with the
+// nmsimd serving layer so the two front ends agree on experiment names.
+// This command owns only the flag-string parsing into ExperimentParams.
 
 // usageTable renders the registry as the experiment section of the usage
 // text: one aligned row per experiment.
 func usageTable() string {
 	var b strings.Builder
-	for _, e := range experiments {
-		fmt.Fprintf(&b, "  %-10s %s\n", e.name, e.desc)
+	for _, e := range harness.Experiments {
+		fmt.Fprintf(&b, "  %-10s %s\n", e.Name, e.Desc)
 	}
 	return b.String()
+}
+
+// params parses the selected experiment's string flags into registry
+// parameters. Only the flags the experiment consumes are parsed, keeping
+// the historical behavior that a junk -corelist is ignored outside
+// -exp=cores.
+func (o options) params() (harness.ExperimentParams, error) {
+	p := harness.ExperimentParams{FaultSeed: o.faultSeed}
+	switch o.exp {
+	case "cores":
+		cc, err := parseCoreList(o.list)
+		if err != nil {
+			return p, err
+		}
+		p.CoreList = cc
+	case "faults":
+		rates, err := parseRates(o.faultRates)
+		if err != nil {
+			return p, err
+		}
+		p.FaultRates = rates
+	case "timeline":
+		epoch, err := units.ParseTime(o.epoch)
+		if err != nil {
+			return p, err
+		}
+		p.Epoch = epoch
+	}
+	return p, nil
 }
 
 // options holds every flag value; validation is separated from parsing so
@@ -157,13 +116,16 @@ type options struct {
 	retries   int
 	retrySeed uint64
 	timeout   time.Duration
+
+	server     string
+	jobTimeout time.Duration
 }
 
 // parseFlags parses args (without the program name) into options.
 func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	var o options
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	fs.StringVar(&o.exp, "exp", "bandwidth", "experiment: "+strings.Join(experimentNames(), ", "))
+	fs.StringVar(&o.exp, "exp", "bandwidth", "experiment: "+strings.Join(harness.ExperimentNames(), ", "))
 	fs.IntVar(&o.n, "n", 1<<20, "keys to sort")
 	fs.IntVar(&o.cores, "cores", 256, "simulated cores for the bandwidth/dma/faults/timeline sweeps")
 	fs.StringVar(&o.list, "corelist", "64,128,192,256", "core counts for -exp=cores")
@@ -183,6 +145,8 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.IntVar(&o.retries, "retries", 0, "deterministic re-replays of cells ending in a transient MemFault outcome")
 	fs.Uint64Var(&o.retrySeed, "retry-seed", 1, "seed for the deterministic retry reseeding chain")
 	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock bound on the whole sweep (0 = none); on expiry the partial report and manifest are flushed")
+	fs.StringVar(&o.server, "server", "", "run the sweep on this nmsimd daemon (e.g. http://127.0.0.1:8080) instead of in-process; the printed report is byte-identical")
+	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "HTTP deadline for the -server request (0 = none)")
 	def := fs.Usage
 	fs.Usage = func() {
 		def()
@@ -194,8 +158,8 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 
 // validate rejects inconsistent flag combinations before any work is done.
 func (o options) validate() error {
-	if _, ok := findExperiment(o.exp); !ok {
-		return fmt.Errorf("unknown experiment %q (want one of: %s)", o.exp, strings.Join(experimentNames(), ", "))
+	if _, ok := harness.FindExperiment(o.exp); !ok {
+		return fmt.Errorf("unknown experiment %q (want one of: %s)", o.exp, strings.Join(harness.ExperimentNames(), ", "))
 	}
 	switch {
 	case o.n < 0:
@@ -214,6 +178,25 @@ func (o options) validate() error {
 		return fmt.Errorf("-timeout %v is negative", o.timeout)
 	case o.resume && o.manifest == "":
 		return fmt.Errorf("-resume requires -manifest")
+	case o.jobTimeout < 0:
+		return fmt.Errorf("-job-timeout %v is negative", o.jobTimeout)
+	case o.jobTimeout > 0 && o.server == "":
+		return fmt.Errorf("-job-timeout requires -server")
+	}
+	if o.server != "" {
+		if err := serve.ValidateServerURL(o.server); err != nil {
+			return err
+		}
+		switch {
+		case o.manifest != "":
+			return fmt.Errorf("-manifest is local-only and conflicts with -server (the daemon keeps its own result cache)")
+		case o.resume:
+			return fmt.Errorf("-resume conflicts with -server")
+		case o.n == 0:
+			return fmt.Errorf("-n 0 cannot travel to -server (the wire treats 0 as the default %d)", 1<<20)
+		case o.seed == 0:
+			return fmt.Errorf("-seed 0 cannot travel to -server (the wire treats 0 as the default 2015)")
+		}
 	}
 	if _, err := report.ParseFormat(o.format); err != nil {
 		return err
@@ -302,6 +285,46 @@ func supervisor(ctx context.Context, o options) (*harness.Supervisor, error) {
 	return sup, nil
 }
 
+// runRemote ships the sweep to an nmsimd daemon and prints the returned
+// report verbatim. The daemon renders through the same registry and
+// report code, so the bytes match the in-process path — the smoke script
+// cmp's exactly this. The failed-cell count arrives in a header, keeping
+// the local exit-code contract.
+func runRemote(ctx context.Context, o options, out io.Writer) (int, error) {
+	p, err := o.params()
+	if err != nil {
+		return 0, err
+	}
+	if o.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.jobTimeout)
+		defer cancel()
+	}
+	c := &serve.Client{BaseURL: o.server}
+	body, failed, err := c.Sweep(ctx, serve.SweepRequest{
+		Exp:        o.exp,
+		N:          o.n,
+		Seed:       o.seed,
+		Cores:      o.cores,
+		SPMiB:      o.spMiB,
+		Format:     o.format,
+		CoreList:   p.CoreList,
+		FaultSeed:  p.FaultSeed,
+		FaultRates: p.FaultRates,
+		EpochPS:    int64(p.Epoch),
+		Par:        o.par,
+		Shards:     o.shards,
+		Retries:    o.retries,
+		RetrySeed:  o.retrySeed,
+		Slice:      o.slice,
+	})
+	if err != nil {
+		return 0, err
+	}
+	_, err = out.Write(body)
+	return failed, err
+}
+
 // run executes the selected experiment under supervision and writes the
 // series to out — including after cancellation or cell failures, when the
 // partially-filled report (with marked rows) is the flush the shutdown
@@ -309,6 +332,9 @@ func supervisor(ctx context.Context, o options) (*harness.Supervisor, error) {
 // yields a harness.Sweep, so fault, timeline, and plain sweeps all render
 // through the same table path.
 func run(ctx context.Context, o options, out io.Writer) (int, error) {
+	if o.server != "" {
+		return runRemote(ctx, o, out)
+	}
 	f, _ := report.ParseFormat(o.format)
 	sup, err := supervisor(ctx, o)
 	if err != nil {
@@ -323,8 +349,12 @@ func run(ctx context.Context, o options, out io.Writer) (int, error) {
 		Shards:  o.shards,
 		Sup:     sup,
 	}
-	e, _ := findExperiment(o.exp)
-	s, err := e.run(o, w)
+	e, _ := harness.FindExperiment(o.exp)
+	p, err := o.params()
+	if err != nil {
+		return 0, err
+	}
+	s, err := e.Run(p, w)
 	if err != nil {
 		return 0, err
 	}

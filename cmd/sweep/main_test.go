@@ -2,9 +2,13 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
 )
 
 // TestValidate exercises the up-front flag validation, including the
@@ -36,6 +40,17 @@ func TestValidate(t *testing.T) {
 		{"valid shards", []string{"-shards", "2"}, ""},
 		{"valid shards auto", []string{"-shards", "-1"}, ""},
 		{"valid profiles", []string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, ""},
+		{"valid server", []string{"-server", "http://127.0.0.1:8080"}, ""},
+		{"valid server with timeout", []string{"-server", "http://127.0.0.1:8080", "-job-timeout", "30s"}, ""},
+		{"server bad scheme", []string{"-server", "ftp://host:1"}, "http"},
+		{"server no host", []string{"-server", "http://"}, "host"},
+		{"server garbage", []string{"-server", "::"}, "-server"},
+		{"job-timeout without server", []string{"-job-timeout", "5s"}, "-job-timeout requires -server"},
+		{"negative job-timeout", []string{"-server", "http://h:1", "-job-timeout", "-1s"}, "-job-timeout"},
+		{"server conflicts manifest", []string{"-server", "http://h:1", "-manifest", "m.json"}, "-manifest"},
+		{"server conflicts resume", []string{"-server", "http://h:1", "-manifest", "m.json", "-resume"}, "-manifest"},
+		{"server zero n", []string{"-server", "http://h:1", "-n", "0"}, "-n 0"},
+		{"server zero seed", []string{"-server", "http://h:1", "-seed", "0"}, "-seed 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +72,44 @@ func TestValidate(t *testing.T) {
 				t.Errorf("validate(%v) = %q, want mention of %q", tc.args, err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestRunRemoteMatchesLocal is the client-parity check: the same sweep
+// flags through -server against an in-process nmsimd stack print the same
+// bytes and failed count as the local path.
+func TestRunRemoteMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay")
+	}
+	hs := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer hs.Close()
+	args := []string{"-exp", "dma", "-n", "8192", "-cores", "16", "-sp", "1", "-seed", "7"}
+	var local, remote strings.Builder
+	for _, pass := range []struct {
+		extra []string
+		out   *strings.Builder
+	}{
+		{nil, &local},
+		{[]string{"-server", hs.URL}, &remote},
+	} {
+		o, _, err := parseFlags(append(args, pass.extra...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.validate(); err != nil {
+			t.Fatal(err)
+		}
+		failed, err := run(context.Background(), o, pass.out)
+		if err != nil {
+			t.Fatalf("run(%v): %v", pass.extra, err)
+		}
+		if failed != 0 {
+			t.Fatalf("run(%v) reported %d failed cells", pass.extra, failed)
+		}
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("remote report differs from local:\n--- local\n%s\n--- remote\n%s", local.String(), remote.String())
 	}
 }
 
@@ -116,17 +169,17 @@ func TestRunFaultsSmall(t *testing.T) {
 // usage text: every registered experiment resolves, appears in the usage
 // table with its description, and the timeline entry is present.
 func TestExperimentRegistry(t *testing.T) {
-	names := experimentNames()
-	if len(names) != len(experiments) {
-		t.Fatalf("experimentNames() = %v, want %d entries", names, len(experiments))
+	names := harness.ExperimentNames()
+	if len(names) != len(harness.Experiments) {
+		t.Fatalf("ExperimentNames() = %v, want %d entries", names, len(harness.Experiments))
 	}
 	usage := usageTable()
-	for _, e := range experiments {
-		if got, ok := findExperiment(e.name); !ok || got.name != e.name {
-			t.Errorf("findExperiment(%q) failed", e.name)
+	for _, e := range harness.Experiments {
+		if got, ok := harness.FindExperiment(e.Name); !ok || got.Name != e.Name {
+			t.Errorf("FindExperiment(%q) failed", e.Name)
 		}
-		if !strings.Contains(usage, e.name) || !strings.Contains(usage, e.desc) {
-			t.Errorf("usage table missing %q:\n%s", e.name, usage)
+		if !strings.Contains(usage, e.Name) || !strings.Contains(usage, e.Desc) {
+			t.Errorf("usage table missing %q:\n%s", e.Name, usage)
 		}
 	}
 	found := false
@@ -138,8 +191,8 @@ func TestExperimentRegistry(t *testing.T) {
 	if !found {
 		t.Errorf("timeline not registered: %v", names)
 	}
-	if _, ok := findExperiment("nope"); ok {
-		t.Error("findExperiment accepted an unknown name")
+	if _, ok := harness.FindExperiment("nope"); ok {
+		t.Error("FindExperiment accepted an unknown name")
 	}
 }
 

@@ -26,7 +26,7 @@ func TestErrorTaxonomy(t *testing.T) {
 		name string
 		err  error
 		as   func(error) bool
-		kind string // failKind through the same wrap chain
+		kind string // FailKind through the same wrap chain
 	}{
 		{
 			name: "replay panic",
@@ -79,8 +79,8 @@ func TestErrorTaxonomy(t *testing.T) {
 			if !c.as(wrap(c.err)) {
 				t.Error("not reachable through a double wrap")
 			}
-			if got := failKind(wrap(c.err)); got != c.kind {
-				t.Errorf("failKind = %q, want %q", got, c.kind)
+			if got := FailKind(wrap(c.err)); got != c.kind {
+				t.Errorf("FailKind = %q, want %q", got, c.kind)
 			}
 		})
 	}
@@ -93,8 +93,8 @@ func TestErrorTaxonomy(t *testing.T) {
 	if !errors.Is(wrap(cancelled), context.Canceled) {
 		t.Error("CancelledError cause unreachable via errors.Is")
 	}
-	if failKind(nil) != "" {
-		t.Errorf("failKind(nil) = %q, want empty", failKind(nil))
+	if FailKind(nil) != "" {
+		t.Errorf("FailKind(nil) = %q, want empty", FailKind(nil))
 	}
 }
 

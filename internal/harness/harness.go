@@ -99,12 +99,34 @@ type RecordResult struct {
 	Counts  trace.LevelCounts
 }
 
+// RecordKey normalizes a workload for Record memoization: only the fields
+// that shape the recorded trace remain. Replay-only knobs (MaxEvents, Par,
+// Shards, the supervisor pointer) are zeroed — they change how a trace is
+// replayed, never what gets recorded.
+func RecordKey(w Workload) Workload {
+	w.MaxEvents = 0
+	w.Par = 0
+	w.Shards = 0
+	w.Sup = nil
+	return w
+}
+
 // Record executes the algorithm natively under instrumentation and returns
 // its trace. The input is regenerated deterministically from the workload
-// seed, so equal workloads yield byte-identical traces.
+// seed, so equal workloads yield byte-identical traces. When the
+// workload's supervisor carries a RecordCache, equal (algorithm, RecordKey)
+// pairs share one recorded trace across sweeps — byte-neutral, since a
+// re-recording would be identical.
 func Record(alg Algorithm, w Workload) (RecordResult, error) {
 	if w.N < 0 || w.Threads <= 0 || w.SP <= 0 {
 		return RecordResult{}, fmt.Errorf("harness: bad workload %+v", w)
+	}
+	var records RecordCache
+	if w.Sup != nil && w.Sup.Records != nil {
+		records = w.Sup.Records
+		if res, ok := records.LookupRecord(alg, RecordKey(w)); ok {
+			return res, nil
+		}
 	}
 	// Pre-size each per-thread op buffer: a sort touches every key a small
 	// constant number of times post-L1-filter, so ~3 ops per owned key plus
@@ -152,6 +174,9 @@ func Record(alg Algorithm, w Workload) (RecordResult, error) {
 		return res, fmt.Errorf("harness: invalid trace: %w", err)
 	}
 	res.Counts = res.Trace.Count()
+	if records != nil {
+		records.CompleteRecord(alg, RecordKey(w), res)
+	}
 	return res, nil
 }
 
@@ -255,8 +280,8 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 	baseTime := outs[0].res.SimTime.Seconds()
 	for i, o := range outs {
 		r := Row{
-			Name:   report.FailMark(mark(labels[i], o.memFault), failKind(o.err)),
-			Fail:   failKind(o.err),
+			Name:   report.FailMark(mark(labels[i], o.memFault), FailKind(o.err)),
+			Fail:   FailKind(o.err),
 			Result: o.res,
 		}
 		if i > 0 {

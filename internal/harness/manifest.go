@@ -30,12 +30,14 @@ const manifestVersion = 1
 // verification. errors.Is-reachable through OpenManifest's wrap chain.
 var ErrManifestCorrupt = errors.New("harness: manifest corrupt")
 
-// manifestCell is one completed cell's checkpoint: everything the sweep
+// CellOutcome is one completed cell's checkpoint: everything a sweep
 // needs to rebuild the cell's report row without replaying. machine.Result
 // round-trips JSON exactly (all fields exported, integers and float64s —
 // Go encodes float64 with the shortest representation that parses back to
-// the same bits), which the manifest round-trip test pins.
-type manifestCell struct {
+// the same bits), which the manifest round-trip test pins. The field
+// order and tags are part of the manifest file format — resume
+// byte-identity tests depend on them.
+type CellOutcome struct {
 	MemFault bool           `json:"mem_fault,omitempty"`
 	Attempts int            `json:"attempts"`
 	Result   machine.Result `json:"result"`
@@ -43,9 +45,9 @@ type manifestCell struct {
 
 // manifestEntry is one cell in the file, with its key in stable hex.
 type manifestEntry struct {
-	Trace  string       `json:"trace"`
-	Config string       `json:"config"`
-	Cell   manifestCell `json:"cell"`
+	Trace  string      `json:"trace"`
+	Config string      `json:"config"`
+	Cell   CellOutcome `json:"cell"`
 }
 
 // manifestFile is the on-disk layout. CRC covers the marshaled entries.
@@ -61,12 +63,15 @@ type Manifest struct {
 	path string
 
 	mu    sync.Mutex
-	cells map[CellKey]manifestCell
+	cells map[CellKey]CellOutcome
 }
+
+// Manifest is the on-disk CellCache implementation.
+var _ CellCache = (*Manifest)(nil)
 
 // NewManifest returns an empty manifest that will persist to path.
 func NewManifest(path string) *Manifest {
-	return &Manifest{path: path, cells: make(map[CellKey]manifestCell)}
+	return &Manifest{path: path, cells: make(map[CellKey]CellOutcome)}
 }
 
 // OpenManifest loads the manifest at path. A missing file yields an empty
@@ -119,18 +124,18 @@ func (m *Manifest) Len() int {
 	return len(m.cells)
 }
 
-// lookup returns the checkpoint for key, if one exists.
-func (m *Manifest) lookup(key CellKey) (manifestCell, bool) {
+// Lookup returns the checkpoint for key, if one exists.
+func (m *Manifest) Lookup(key CellKey) (CellOutcome, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.cells[key]
 	return c, ok
 }
 
-// complete records a finished cell and persists the whole manifest
+// Complete records a finished cell and persists the whole manifest
 // atomically. Serialized under the mutex: concurrent completions from
 // pool workers each leave a complete file behind.
-func (m *Manifest) complete(key CellKey, cell manifestCell) error {
+func (m *Manifest) Complete(key CellKey, cell CellOutcome) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cells[key] = cell

@@ -37,7 +37,7 @@ const DefaultSlice uint64 = 1 << 16
 // can stand in for re-running the cell.
 type CellKey struct {
 	Trace  uint64 // trace.Digest of the recorded stream
-	Config uint64 // configDigest of the machine.Config + retry policy
+	Config uint64 // ConfigDigest of the machine.Config + retry policy
 }
 
 // String renders the key in the manifest's stable hex form.
@@ -102,6 +102,19 @@ type Supervisor struct {
 	// use the manifest (their recorder must actually record).
 	Manifest *Manifest
 
+	// Cache, when non-nil, takes precedence over Manifest as the cell
+	// checkpoint store — the serving layer plugs its in-memory result
+	// cache in here. The same rules apply: equal keys stand in for
+	// byte-identical replays, and telemetry cells bypass the cache.
+	Cache CellCache
+
+	// Records, when non-nil, memoizes Record() results for workloads run
+	// under this supervisor, so many sweeps against the same (algorithm,
+	// workload) share one recorded trace. Byte-neutral: equal workloads
+	// record byte-identical traces, so a cached trace replays identically
+	// to a re-recorded one.
+	Records RecordCache
+
 	// Interrupt, when non-nil, is polled between slices alongside Ctx —
 	// the deterministic chaos hook. It must be goroutine-safe. A non-nil
 	// return cancels like a context cancellation.
@@ -110,11 +123,38 @@ type Supervisor struct {
 	// stop latches the first cancellation cause: once any cell observes
 	// cancellation, every later poll fails fast without re-deriving it.
 	stop atomic.Pointer[error]
+}
 
-	// traceDigests caches trace.Digest per recorded trace. Guarded by
-	// being touched only from cellKeys, which runs before each sweep's
-	// fan-out on the calling goroutine.
-	traceDigests map[*trace.Trace]uint64
+// CellCache is a checkpoint store for completed sweep cells, keyed
+// content-addressably by CellKey. Implementations must be goroutine-safe:
+// pool workers look up and complete cells concurrently. *Manifest is the
+// on-disk implementation; internal/serve provides an in-memory LRU.
+type CellCache interface {
+	// Lookup returns the stored outcome for key, if any.
+	Lookup(key CellKey) (CellOutcome, bool)
+	// Complete stores a finished cell's outcome. An error fails the cell
+	// (a checkpoint that cannot persist must not be silently dropped).
+	Complete(key CellKey, cell CellOutcome) error
+}
+
+// RecordCache memoizes Record() results. The key workload is normalized
+// by the caller (replay-only knobs zeroed), so implementations may use it
+// directly as a map key. Must be goroutine-safe.
+type RecordCache interface {
+	LookupRecord(alg Algorithm, w Workload) (RecordResult, bool)
+	CompleteRecord(alg Algorithm, w Workload, res RecordResult)
+}
+
+// cache resolves the active cell checkpoint store: an explicit Cache wins,
+// else the Manifest, else none.
+func (sup *Supervisor) cache() CellCache {
+	if sup.Cache != nil {
+		return sup.Cache
+	}
+	if sup.Manifest != nil {
+		return sup.Manifest
+	}
+	return nil
 }
 
 // interrupted reports the sticky cancellation state, latching the first
@@ -137,15 +177,17 @@ func (sup *Supervisor) interrupted() error {
 	return *sup.stop.Load()
 }
 
-// configDigest fingerprints a machine configuration for cell keying.
-// Shards is zeroed because sharding is result-neutral by construction
-// (a manifest written at -shards 4 must resume a -shards 0 run), and
-// Telemetry is zeroed because a recorder pointer has no stable rendering
-// (telemetry cells are excluded from manifest use anyway). The retry
-// policy is folded in because it changes fault outcomes.
+// ConfigDigest fingerprints a machine configuration for cell keying —
+// the one keying function shared by the checkpoint manifest and the
+// serving layer's result cache, so the two can never drift. Shards is
+// zeroed because sharding is result-neutral by construction (a manifest
+// written at -shards 4 must resume a -shards 0 run), and Telemetry is
+// zeroed because a recorder pointer has no stable rendering (telemetry
+// cells are excluded from cache use anyway). The retry policy is folded
+// in because it changes fault outcomes.
 var cellCRCTable = crc64.MakeTable(crc64.ECMA)
 
-func configDigest(cfg machine.Config, retries int, retrySeed uint64) uint64 {
+func ConfigDigest(cfg machine.Config, retries int, retrySeed uint64) uint64 {
 	cfg.Shards = 0
 	cfg.Telemetry = nil
 	return crc64.Checksum(
@@ -153,36 +195,48 @@ func configDigest(cfg machine.Config, retries int, retrySeed uint64) uint64 {
 		cellCRCTable)
 }
 
-// cellKeys derives every job's CellKey, caching trace digests by trace
-// identity (sweeps share one recorded trace across many cells). Runs on
-// the sweep goroutine before the fan-out.
+// cellKeys derives every job's CellKey. Trace digests are memoized on the
+// trace itself (sweeps share one recorded trace across many cells), so
+// this is cheap after the first digest. Runs on the sweep goroutine
+// before the fan-out.
 func (sup *Supervisor) cellKeys(jobs []replayJob) ([]CellKey, error) {
 	keys := make([]CellKey, len(jobs))
 	for i, j := range jobs {
-		td, ok := sup.traceDigests[j.tr]
-		if !ok {
-			var err error
-			td, err = j.tr.Digest()
-			if err != nil {
-				return nil, fmt.Errorf("harness: digesting trace for cell %d: %w", i, err)
-			}
-			if sup.traceDigests == nil {
-				sup.traceDigests = make(map[*trace.Trace]uint64)
-			}
-			sup.traceDigests[j.tr] = td
+		td, err := j.tr.Digest()
+		if err != nil {
+			return nil, fmt.Errorf("harness: digesting trace for cell %d: %w", i, err)
 		}
-		keys[i] = CellKey{Trace: td, Config: configDigest(j.cfg, sup.Retries, sup.RetrySeed)}
+		keys[i] = CellKey{Trace: td, Config: ConfigDigest(j.cfg, sup.Retries, sup.RetrySeed)}
 	}
 	return keys, nil
+}
+
+// ReplayCell runs one supervised cell by itself — the serving layer's
+// entry point into the supervised runtime. It derives the cell's key,
+// then executes the full runCell path: cache lookup, sliced replay with
+// panic containment, deterministic MemFault retries, checkpoint write.
+// The returned outcome is valid whenever err is nil.
+func (sup *Supervisor) ReplayCell(cfg machine.Config, tr *trace.Trace, label string) (CellKey, CellOutcome, error) {
+	td, err := tr.Digest()
+	if err != nil {
+		return CellKey{}, CellOutcome{}, fmt.Errorf("harness: digesting trace: %w", err)
+	}
+	key := CellKey{Trace: td, Config: ConfigDigest(cfg, sup.Retries, sup.RetrySeed)}
+	out := sup.runCell(replayJob{cfg: cfg, tr: tr, label: label}, key)
+	if out.err != nil {
+		return key, CellOutcome{}, out.err
+	}
+	return key, CellOutcome{MemFault: out.memFault, Attempts: out.attempts, Result: out.res}, nil
 }
 
 // runCell executes one supervised cell end to end: manifest lookup,
 // sliced replay with panic containment, deterministic MemFault retries,
 // and the checkpoint write. Called concurrently from pool workers.
 func (sup *Supervisor) runCell(j replayJob, key CellKey) replayOut {
-	useManifest := sup.Manifest != nil && j.cfg.Telemetry == nil
-	if useManifest {
-		if c, ok := sup.Manifest.lookup(key); ok {
+	cache := sup.cache()
+	useCache := cache != nil && j.cfg.Telemetry == nil
+	if useCache {
+		if c, ok := cache.Lookup(key); ok {
 			return replayOut{res: c.Result, memFault: c.MemFault, attempts: c.Attempts}
 		}
 	}
@@ -208,8 +262,8 @@ func (sup *Supervisor) runCell(j replayJob, key CellKey) replayOut {
 		out.err = nil
 	}
 	out.attempts = attempts
-	if out.err == nil && useManifest {
-		if err := sup.Manifest.complete(key, manifestCell{
+	if out.err == nil && useCache {
+		if err := cache.Complete(key, CellOutcome{
 			MemFault: out.memFault, Attempts: attempts, Result: out.res,
 		}); err != nil {
 			out.err = err
@@ -244,11 +298,11 @@ func (sup *Supervisor) attempt(j replayJob, key CellKey) (out replayOut) {
 	return replayOut{res: res, err: err}
 }
 
-// failKind classifies a supervised cell's terminal error for report
+// FailKind classifies a supervised cell's terminal error for report
 // marking: "" (success), "panic", "cancelled", "budget", "stall", or
 // "error" for anything else. Every class is errors.As-reachable through
 // the wrap chain, pinned by the error-taxonomy test.
-func failKind(err error) string {
+func FailKind(err error) string {
 	switch {
 	case err == nil:
 		return ""

@@ -322,14 +322,14 @@ func TestManifestRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "manifest.json")
 	m := NewManifest(path)
 	key := CellKey{Trace: 0xAB, Config: 0xCD}
-	if err := m.complete(key, manifestCell{MemFault: true, Attempts: 2, Result: res}); err != nil {
+	if err := m.Complete(key, CellOutcome{MemFault: true, Attempts: 2, Result: res}); err != nil {
 		t.Fatal(err)
 	}
 	re, err := OpenManifest(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := re.lookup(key)
+	got, ok := re.Lookup(key)
 	if !ok {
 		t.Fatal("completed cell missing after reopen")
 	}
@@ -344,7 +344,7 @@ func TestManifestCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "manifest.json")
 	m := NewManifest(path)
-	if err := m.complete(CellKey{Trace: 1, Config: 2}, manifestCell{Attempts: 1}); err != nil {
+	if err := m.Complete(CellKey{Trace: 1, Config: 2}, CellOutcome{Attempts: 1}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

@@ -237,7 +237,7 @@ func (s Sweep) collect(sup *Supervisor, workers int, jobs []replayJob, points []
 		p := points[i]
 		p.Result = o.res
 		p.MemFault = o.memFault
-		p.Fail = failKind(o.err)
+		p.Fail = FailKind(o.err)
 		s.Points = append(s.Points, p)
 	}
 	return s, nil

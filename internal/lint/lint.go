@@ -101,6 +101,9 @@ var simulatorPackages = map[string]bool{
 	"internal/spmem":     true,
 	"internal/fault":     true,
 	"internal/telemetry": true,
+	// serve answers jobs from the replay kernel; wall-clock reads or map
+	// iteration there would leak nondeterminism into cached responses.
+	"internal/serve": true,
 }
 
 // IsSimulatorPackage reports whether the import path (relative to the

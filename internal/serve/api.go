@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/machine"
+)
+
+// The wire types of the nmsimd HTTP/JSON API, shared by the server and
+// the Go client so the two cannot drift. All digests travel as 16-hex
+// strings (the manifest's stable key form).
+
+// TraceInfo describes one stored trace.
+type TraceInfo struct {
+	Digest  string `json:"digest"`  // 16-hex trace digest
+	Threads int    `json:"threads"` // recorded thread count
+	Ops     int64  `json:"ops"`     // total recorded ops
+	Bytes   int64  `json:"bytes"`   // resident footprint estimate
+}
+
+// RecordRequest asks the server to record an algorithm trace
+// (POST /v1/traces/record). Equal requests record byte-identical traces,
+// so the response digest is stable and the server memoizes the work.
+type RecordRequest struct {
+	Alg     string `json:"alg"`               // harness.Algorithm name, e.g. "nmsort"
+	N       int    `json:"n"`                 // keys to sort
+	Seed    uint64 `json:"seed"`              // input seed
+	Threads int    `json:"threads"`           // logical threads (simulated cores)
+	SPMiB   int    `json:"sp_mib"`            // scratchpad capacity in MiB
+	Buckets int    `json:"buckets,omitempty"` // NMsort bucket override (0 = automatic)
+	Dist    string `json:"dist,omitempty"`    // key distribution ("" = uniform)
+}
+
+// JobRequest submits one replay cell (POST /v1/jobs): a stored trace
+// replayed on one node configuration under the supervised runtime.
+type JobRequest struct {
+	TraceDigest  string  `json:"trace_digest"`
+	Cores        int     `json:"cores"`         // simulated cores (multiple of 4)
+	NearChannels int     `json:"near_channels"` // 8/16/32 for the paper's 2X/4X/8X
+	SPMiB        int     `json:"sp_mib"`
+	FaultSeed    uint64  `json:"fault_seed,omitempty"` // 0 disables injection
+	FaultRate    float64 `json:"fault_rate,omitempty"` // far-memory bit error rate in [0, 1]
+	MaxEvents    uint64  `json:"max_events,omitempty"` // per-job event budget (0 = server default)
+	Shards       int     `json:"shards,omitempty"`     // intra-replay engine shards (byte-neutral)
+	Retries      int     `json:"retries,omitempty"`    // deterministic MemFault retries
+	RetrySeed    uint64  `json:"retry_seed,omitempty"`
+	Label        string  `json:"label,omitempty"` // report label for failure messages
+
+	// Stream switches the response to NDJSON progress: telemetry sample
+	// rows as the replay crosses slice boundaries, then phase rows, then
+	// one final result (or error) object. Streamed jobs attach a recorder
+	// and therefore bypass the result cache (a cached outcome has no
+	// samples to stream).
+	Stream  bool  `json:"stream,omitempty"`
+	EpochPS int64 `json:"epoch_ps,omitempty"` // telemetry epoch in simulated ps (0 = 10us)
+}
+
+// JobResponse is one completed replay cell. Identical requests — cold,
+// cached, or raced — marshal to identical bytes; the cache-hit indicator
+// travels in the X-Nmsimd-Cache header precisely so it cannot perturb
+// the body.
+type JobResponse struct {
+	TraceKey  string         `json:"trace_key"`  // CellKey.Trace, 16-hex
+	ConfigKey string         `json:"config_key"` // CellKey.Config, 16-hex
+	MemFault  bool           `json:"mem_fault,omitempty"`
+	Attempts  int            `json:"attempts"`
+	Result    machine.Result `json:"result"`
+}
+
+// SweepRequest runs a whole registry experiment server-side
+// (POST /v1/sweeps) and returns the rendered report — the same bytes the
+// cmd/sweep front end prints for the same parameters, which is the
+// client-parity contract the smoke test cmp's. Exp "table1" mirrors
+// cmd/nmsim's Table I instead (DMA/Dist/FaultRate apply there).
+type SweepRequest struct {
+	Exp    string `json:"exp"`
+	N      int    `json:"n,omitempty"`      // 0 = 1<<20
+	Seed   uint64 `json:"seed,omitempty"`   // 0 = 2015
+	Cores  int    `json:"cores,omitempty"`  // 0 = 256
+	SPMiB  int    `json:"sp_mib,omitempty"` // 0 = 8
+	Format string `json:"format,omitempty"` // "" = text
+
+	CoreList   []int     `json:"core_list,omitempty"`   // -exp=cores axis
+	FaultSeed  uint64    `json:"fault_seed,omitempty"`  // -exp=faults / table1 seed
+	FaultRates []float64 `json:"fault_rates,omitempty"` // -exp=faults axis
+	EpochPS    int64     `json:"epoch_ps,omitempty"`    // -exp=timeline epoch
+
+	Par       int    `json:"par,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
+	Retries   int    `json:"retries,omitempty"`
+	RetrySeed uint64 `json:"retry_seed,omitempty"`
+	Slice     uint64 `json:"slice,omitempty"`
+	MaxEvents uint64 `json:"max_events,omitempty"`
+
+	DMA       bool    `json:"dma,omitempty"`        // table1: §VII DMA engines
+	Dist      string  `json:"dist,omitempty"`       // table1: key distribution
+	FaultRate float64 `json:"fault_rate,omitempty"` // table1: far bit error rate
+}
+
+// Stats is the GET /v1/stats snapshot.
+type Stats struct {
+	Traces       int    `json:"traces"`
+	TraceBytes   int64  `json:"trace_bytes"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Records      int    `json:"records"`
+	JobsRunning  int    `json:"jobs_running"`
+	JobsAdmitted int    `json:"jobs_admitted"`
+	JobsDone     uint64 `json:"jobs_done"`
+	JobsRejected uint64 `json:"jobs_rejected"`
+	SweepsDone   uint64 `json:"sweeps_done"`
+}
+
+// ExperimentInfo is one GET /v1/experiments row.
+type ExperimentInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// errorBody is the JSON error envelope on every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // supervised failure kind, when one applies
+}
+
+// digestString renders a digest in the API's 16-hex form.
+func digestString(d uint64) string { return fmt.Sprintf("%016x", d) }
+
+// parseDigest parses the API's 16-hex digest form.
+func parseDigest(s string) (uint64, error) {
+	d, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad digest %q", s)
+	}
+	return d, nil
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// ResultCache is the in-memory harness.CellCache: completed cell outcomes
+// keyed content-addressably by CellKey, bounded LRU. Because cell keys
+// fingerprint both the trace bytes and the full replay configuration
+// (including the retry policy), a hit is byte-equivalent to re-running
+// the replay — the whole point of the serving layer's "identical jobs
+// answered without re-simulation" contract.
+type ResultCache struct {
+	mu    sync.Mutex
+	idx   *lruIndex[harness.CellKey, harness.CellOutcome]
+	hits  uint64
+	miss  uint64
+}
+
+// ResultCache implements the supervisor's checkpoint-store interface.
+var _ harness.CellCache = (*ResultCache)(nil)
+
+// NewResultCache returns a cache holding at most limit outcomes (<= 0
+// means a 4096-entry default).
+func NewResultCache(limit int) *ResultCache {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &ResultCache{idx: newLRUIndex[harness.CellKey, harness.CellOutcome](limit)}
+}
+
+// Lookup returns the cached outcome for key, if any.
+func (c *ResultCache) Lookup(key harness.CellKey) (harness.CellOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.idx.get(key)
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return out, ok
+}
+
+// Complete stores a finished cell. In-memory completion cannot fail, so
+// the error is always nil (the CellCache contract reserves it for stores
+// that persist).
+func (c *ResultCache) Complete(key harness.CellKey, cell harness.CellOutcome) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx.put(key, cell)
+	return nil
+}
+
+// Peek reports whether key is cached without counting a hit or miss and
+// without refreshing recency — the HTTP layer's way to label a response
+// cold vs. cached while the supervisor's own Lookup keeps the stats.
+func (c *ResultCache) Peek(key harness.CellKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.idx.entries[key]
+	return ok
+}
+
+// Stats returns (entries, hits, misses) — the cache-hit observability the
+// smoke test asserts on.
+func (c *ResultCache) Stats() (entries int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.len(), c.hits, c.miss
+}
+
+// recordMemo memoizes harness.Record results so many requests against
+// the same (algorithm, workload) share one recorded trace — the "record
+// once" half of the serving story. Keys are RecordKey-normalized
+// workloads (replay-only knobs zeroed), so the struct is directly
+// comparable. Concurrent first-records of the same key may both run; the
+// results are byte-identical by Record's determinism contract, and the
+// memo keeps one.
+type recordMemo struct {
+	mu  sync.Mutex
+	idx *lruIndex[recordMemoKey, harness.RecordResult]
+}
+
+type recordMemoKey struct {
+	alg harness.Algorithm
+	w   harness.Workload
+}
+
+var _ harness.RecordCache = (*recordMemo)(nil)
+
+func newRecordMemo(limit int) *recordMemo {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &recordMemo{idx: newLRUIndex[recordMemoKey, harness.RecordResult](limit)}
+}
+
+// LookupRecord implements harness.RecordCache. w must already be
+// RecordKey-normalized (Record normalizes before calling).
+func (m *recordMemo) LookupRecord(alg harness.Algorithm, w harness.Workload) (harness.RecordResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idx.get(recordMemoKey{alg: alg, w: w})
+}
+
+// CompleteRecord implements harness.RecordCache.
+func (m *recordMemo) CompleteRecord(alg harness.Algorithm, w harness.Workload, res harness.RecordResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.idx.put(recordMemoKey{alg: alg, w: w}, res)
+}
+
+// Len reports the memoized record count.
+func (m *recordMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idx.len()
+}

@@ -1,0 +1,316 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+	"repro/internal/units"
+)
+
+// tinyWorkload mirrors the harness test workload: 16 cores, small input,
+// fast enough to record and replay many times under -race.
+func tinyWorkload() harness.Workload {
+	return harness.Workload{N: 1 << 13, Seed: 7, Threads: 16, SP: 64 * units.KiB}
+}
+
+// newTestServer starts a serving stack on httptest and returns a client
+// bound to it.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *serve.Client) {
+	t.Helper()
+	srv := serve.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, &serve.Client{BaseURL: hs.URL, HTTP: hs.Client()}
+}
+
+// recordAndUpload records the tiny NMsort trace locally and uploads it.
+func recordAndUpload(t *testing.T, c *serve.Client) serve.TraceInfo {
+	t.Helper()
+	rec, err := harness.Record(harness.AlgNMSort, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadTrace(context.Background(), rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// tinyJob is the golden job the determinism tests submit.
+func tinyJob(digest string) serve.JobRequest {
+	return serve.JobRequest{
+		TraceDigest:  digest,
+		Cores:        16,
+		NearChannels: 16,
+		SPMiB:        1,
+	}
+}
+
+// TestUploadRoundTrip pins content addressing end to end: upload, fetch,
+// re-digest — same bytes, same digest, and a second upload of the same
+// trace does not grow the store.
+func TestUploadRoundTrip(t *testing.T) {
+	srv, c := newTestServer(t, serve.Config{})
+	info := recordAndUpload(t, c)
+	if srv.Store().Len() != 1 {
+		t.Fatalf("store has %d traces, want 1", srv.Store().Len())
+	}
+	got, err := c.FetchTrace(context.Background(), info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%016x", d) != info.Digest {
+		t.Fatalf("fetched trace digest %016x, uploaded %s", d, info.Digest)
+	}
+	recordAndUpload(t, c)
+	if srv.Store().Len() != 1 {
+		t.Fatalf("re-upload duplicated the trace: store has %d", srv.Store().Len())
+	}
+}
+
+// TestJobCacheHit pins the result-cache contract: the second identical
+// submission is answered from the cache (zero replay work — the hit
+// counter moves, the replay is skipped) with byte-identical bytes.
+func TestJobCacheHit(t *testing.T) {
+	srv, c := newTestServer(t, serve.Config{})
+	info := recordAndUpload(t, c)
+	ctx := context.Background()
+
+	cold, _, hit1, err := c.SubmitJob(ctx, tinyJob(info.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 {
+		t.Fatal("first submission reported a cache hit")
+	}
+	warm, _, hit2, err := c.SubmitJob(ctx, tinyJob(info.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Fatal("second identical submission missed the cache")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cache hit changed the response bytes:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if _, hits, _ := srv.Cache().Stats(); hits == 0 {
+		t.Fatal("cache stats recorded no hit")
+	}
+}
+
+// TestJobMatchesDirectReplay is the cross-package cell-keying equality
+// test: the server's response keys equal harness.ConfigDigest /
+// trace.Digest computed directly, and the served result equals a direct
+// supervised replay of the same cell.
+func TestJobMatchesDirectReplay(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	rec, err := harness.Record(harness.AlgNMSort, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadTrace(ctx, rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jr, _, err := c.SubmitJob(ctx, tinyJob(info.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := harness.NodeFor(16, 16, 1*units.MiB)
+	sup := &harness.Supervisor{}
+	key, out, err := sup.ReplayCell(cfg, rec.Trace, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%016x", harness.ConfigDigest(cfg, 0, 0)); jr.ConfigKey != want {
+		t.Fatalf("served config key %s, local ConfigDigest %s", jr.ConfigKey, want)
+	}
+	if want := fmt.Sprintf("%016x", key.Trace); jr.TraceKey != want {
+		t.Fatalf("served trace key %s, local %s", jr.TraceKey, want)
+	}
+	if jr.Result.SimTime != out.Result.SimTime ||
+		jr.Result.FarAccesses != out.Result.FarAccesses ||
+		jr.Result.NearAccesses != out.Result.NearAccesses {
+		t.Fatalf("served result %+v differs from direct replay %+v", jr.Result, out.Result)
+	}
+}
+
+// TestConcurrentClientsDeterministic is the serving determinism test: N
+// concurrent clients submit a mix of identical and differing jobs; every
+// response for the same cell is byte-identical, cold or cached, in any
+// completion order.
+func TestConcurrentClientsDeterministic(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{Workers: 4, Queue: 64})
+	info := recordAndUpload(t, c)
+	ctx := context.Background()
+
+	channels := []int{8, 16, 32}
+	const perChannel = 4
+	got := make([][]byte, len(channels)*perChannel)
+	var wg sync.WaitGroup
+	for ci, ch := range channels {
+		for k := 0; k < perChannel; k++ {
+			wg.Add(1)
+			go func(slot, ch int) {
+				defer wg.Done()
+				req := tinyJob(info.Digest)
+				req.NearChannels = ch
+				raw, _, _, err := c.SubmitJob(ctx, req)
+				if err != nil {
+					t.Errorf("job ch=%d: %v", ch, err)
+					return
+				}
+				got[slot] = raw
+			}(ci*perChannel+k, ch)
+		}
+	}
+	wg.Wait()
+	for ci := range channels {
+		base := got[ci*perChannel]
+		for k := 1; k < perChannel; k++ {
+			if !bytes.Equal(base, got[ci*perChannel+k]) {
+				t.Fatalf("channel %d: response %d differs from response 0:\n%s\nvs\n%s",
+					channels[ci], k, got[ci*perChannel+k], base)
+			}
+		}
+	}
+	// Differing configs must differ (they key different cells).
+	if bytes.Equal(got[0], got[perChannel]) {
+		t.Fatal("2X and 4X jobs returned identical bodies")
+	}
+}
+
+// TestSweepMatchesDirectHarness pins the sweep endpoint against the same
+// experiment run directly through the registry: same bytes, which is the
+// cmd/sweep client-parity contract (the CI smoke script checks the
+// process-level half with cmp).
+func TestSweepMatchesDirectHarness(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	req := serve.SweepRequest{
+		Exp: "dma", N: 1 << 13, Seed: 7, Cores: 16, SPMiB: 1,
+	}
+	body, failed, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("sweep reported %d failed cells", failed)
+	}
+
+	wl := harness.Workload{
+		N: 1 << 13, Seed: 7, Threads: 16, SP: 1 * units.MiB,
+		Sup: &harness.Supervisor{},
+	}
+	e, ok := harness.FindExperiment("dma")
+	if !ok {
+		t.Fatal("dma experiment missing from registry")
+	}
+	sw, err := e.Run(harness.ExperimentParams{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sw.String(); string(body) != want {
+		t.Fatalf("served sweep differs from direct harness run:\n--- served\n%s\n--- direct\n%s", body, want)
+	}
+}
+
+// TestRecordEndpointMemoized pins record-once: two identical record
+// requests return the same digest and the second is served from the memo
+// (the record count stays 1).
+func TestRecordEndpointMemoized(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	req := serve.RecordRequest{Alg: "nmsort", N: 1 << 13, Seed: 7, Threads: 16, SPMiB: 1}
+	// SPMiB 1 differs from tinyWorkload's 64 KiB — independent cell.
+	a, err := c.Record(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Record(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("repeat record changed the digest: %s vs %s", a.Digest, b.Digest)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("record memo holds %d entries, want 1", st.Records)
+	}
+}
+
+// TestStreamJob checks the NDJSON path: sample lines, phase rows, and a
+// final result object whose sim time equals the plain job's.
+func TestStreamJob(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	info := recordAndUpload(t, c)
+	ctx := context.Background()
+
+	_, plain, _, err := c.SubmitJob(ctx, tinyJob(info.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	req := tinyJob(info.Digest)
+	req.EpochPS = int64(10 * units.Microsecond)
+	if err := c.StreamJob(ctx, req, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"type":"sample"`) {
+		t.Fatalf("stream carried no samples:\n%s", out)
+	}
+	if !strings.Contains(out, `"type":"phase"`) {
+		t.Fatalf("stream carried no phase rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"type":"result"`) {
+		t.Fatalf("stream did not end with a result line: %s", last)
+	}
+	if want := fmt.Sprintf(`"SimTime":%d`, plain.Result.SimTime); !strings.Contains(last, want) {
+		t.Fatalf("streamed result sim time differs from plain job:\n%s\nwant %s", last, want)
+	}
+}
+
+// TestJobValidation checks malformed jobs are refused up front with 400s.
+func TestJobValidation(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	info := recordAndUpload(t, c)
+	ctx := context.Background()
+	bad := []serve.JobRequest{
+		{TraceDigest: info.Digest, Cores: 10, NearChannels: 16, SPMiB: 1}, // cores not multiple of 4
+		{TraceDigest: info.Digest, Cores: 16, NearChannels: 0, SPMiB: 1},  // no channels
+		{TraceDigest: info.Digest, Cores: 16, NearChannels: 16, SPMiB: 0}, // no scratchpad
+		{TraceDigest: info.Digest, Cores: 16, NearChannels: 16, SPMiB: 1, FaultRate: 2},
+		{TraceDigest: "zz", Cores: 16, NearChannels: 16, SPMiB: 1}, // bad digest
+	}
+	for i, req := range bad {
+		if _, _, _, err := c.SubmitJob(ctx, req); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+	// Unknown digest: 404, not 400.
+	miss := tinyJob("0000000000000001")
+	if _, _, _, err := c.SubmitJob(ctx, miss); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown digest error = %v, want 404", err)
+	}
+}

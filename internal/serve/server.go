@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config sizes one Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrently running jobs (0 = 4). Each job may
+	// itself fan out over Par replay workers, so total CPU use is
+	// Workers x Par in the worst case; daemons size both.
+	Workers int
+	// Queue bounds jobs waiting beyond Workers before 429 (0 = 64).
+	Queue int
+	// StoreBytes is the trace store budget (0 = 256 MiB).
+	StoreBytes int64
+	// CacheEntries bounds the result cache (0 = 4096).
+	CacheEntries int
+	// Slice is the default supervised per-slice event budget (0 =
+	// harness.DefaultSlice) — also the streaming granularity.
+	Slice uint64
+	// MaxEvents is the default per-job event budget when a request does
+	// not set one (0 = machine.DefaultEventBudget).
+	MaxEvents uint64
+	// MaxUploadBytes bounds POST /v1/traces bodies (0 = 1 GiB).
+	MaxUploadBytes int64
+}
+
+// Server is the nmsimd serving core: store + cache + gate + handlers.
+// Jobs execute synchronously on their request goroutines — the package
+// spawns no goroutines of its own, so concurrency is exactly what the
+// HTTP layer and the gate admit.
+type Server struct {
+	cfg     Config
+	store   *Store
+	cache   *ResultCache
+	records *recordMemo
+	gate    *Gate
+	mux     *http.ServeMux
+
+	jobsDone     atomic.Uint64
+	jobsRejected atomic.Uint64
+	sweepsDone   atomic.Uint64
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 64
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.StoreBytes),
+		cache:   NewResultCache(cfg.CacheEntries),
+		records: newRecordMemo(0),
+		gate:    NewGate(cfg.Workers, cfg.Queue),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/traces/record", s.handleRecord)
+	s.mux.HandleFunc("GET /v1/traces/{digest}", s.handleFetchTrace)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	return s
+}
+
+// Handler returns the HTTP handler; the daemon wraps it in an
+// http.Server, tests in httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the trace store (tests, stats).
+func (s *Server) Store() *Store { return s.store }
+
+// Cache exposes the result cache (tests, stats).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+// fail writes the JSON error envelope with a status derived from the
+// error's supervised failure kind.
+func fail(w http.ResponseWriter, err error, status int) {
+	kind := ""
+	switch {
+	case errors.As(err, new(*harness.ReplayPanicError)):
+		kind, status = "panic", http.StatusInternalServerError
+	case errors.As(err, new(*harness.CancelledError)):
+		kind, status = "cancelled", http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrTraceNotFound):
+		status = http.StatusNotFound
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Kind: kind})
+}
+
+// writeJSON writes one JSON response body. json.Marshal is deterministic
+// for struct types (field order is declaration order), so equal payloads
+// are byte-identical — the property the cache-hit cmp test rides on.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(v)
+	if err != nil {
+		fail(w, fmt.Errorf("serve: encoding response: %w", err), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	w.Write(b)
+}
+
+// traceInfo builds the metadata response for a stored trace.
+func traceInfo(digest uint64, tr *trace.Trace) TraceInfo {
+	var ops int64
+	for _, st := range tr.Streams {
+		ops += int64(len(st))
+	}
+	return TraceInfo{
+		Digest:  digestString(digest),
+		Threads: len(tr.Streams),
+		Ops:     ops,
+		Bytes:   traceBytes(tr),
+	}
+}
+
+// handleUpload ingests a serialized trace stream (the trace.WriteTo
+// format, checksum-verified by ReadTrace) into the store.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tr, err := trace.ReadTrace(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		fail(w, fmt.Errorf("serve: reading trace: %w", err), http.StatusBadRequest)
+		return
+	}
+	if err := tr.Validate(); err != nil {
+		fail(w, fmt.Errorf("serve: invalid trace: %w", err), http.StatusBadRequest)
+		return
+	}
+	d, err := s.store.Put(tr)
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, traceInfo(d, tr))
+}
+
+// handleRecord records an algorithm trace server-side and stores it.
+// Recording is replay-grade CPU work, so it passes the admission gate;
+// the record memo makes repeats free.
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	var req RecordRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, fmt.Errorf("serve: decoding record request: %w", err), http.StatusBadRequest)
+		return
+	}
+	dist, err := parseDist(req.Dist)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	if req.N < 0 || req.Threads <= 0 || req.Threads%4 != 0 || req.SPMiB <= 0 {
+		fail(w, fmt.Errorf("serve: bad record workload %+v", req), http.StatusBadRequest)
+		return
+	}
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		s.jobsRejected.Add(1)
+		fail(w, err, http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+	wl := harness.Workload{
+		N: req.N, Seed: req.Seed, Threads: req.Threads,
+		SP: units.Bytes(req.SPMiB) * units.MiB, Buckets: req.Buckets, Dist: dist,
+		Sup: &harness.Supervisor{Ctx: r.Context(), Records: s.records},
+	}
+	res, err := harness.Record(harness.Algorithm(req.Alg), wl)
+	if err != nil {
+		fail(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	d, err := s.store.Put(res.Trace)
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.jobsDone.Add(1)
+	writeJSON(w, traceInfo(d, res.Trace))
+}
+
+// handleFetchTrace streams a stored trace back in its serialized form.
+// The trace stays pinned for the duration of the write.
+func (s *Server) handleFetchTrace(w http.ResponseWriter, r *http.Request) {
+	d, err := parseDigest(r.PathValue("digest"))
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	tr, release, err := s.store.Pin(d)
+	if err != nil {
+		fail(w, err, http.StatusNotFound)
+		return
+	}
+	defer release()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	tr.WriteTo(w)
+}
+
+// jobConfig translates a JobRequest into the machine configuration,
+// applying the server's default event budget.
+func (s *Server) jobConfig(req JobRequest) machine.Config {
+	cfg := harness.NodeFor(req.Cores, req.NearChannels, units.Bytes(req.SPMiB)*units.MiB)
+	if req.FaultRate > 0 {
+		cfg.Fault = fault.Profile(req.FaultSeed, req.FaultRate)
+	}
+	cfg.MaxEvents = req.MaxEvents
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = s.cfg.MaxEvents
+	}
+	cfg.Shards = req.Shards
+	return cfg
+}
+
+// validateJob rejects malformed job parameters up front.
+func validateJob(req JobRequest) error {
+	switch {
+	case req.Cores <= 0 || req.Cores%4 != 0:
+		return fmt.Errorf("serve: cores %d must be a positive multiple of 4", req.Cores)
+	case req.NearChannels <= 0:
+		return fmt.Errorf("serve: near_channels %d must be positive", req.NearChannels)
+	case req.SPMiB <= 0:
+		return fmt.Errorf("serve: sp_mib %d must be positive", req.SPMiB)
+	case req.FaultRate < 0 || req.FaultRate > 1 || req.FaultRate != req.FaultRate:
+		return fmt.Errorf("serve: fault_rate %v must be in [0, 1]", req.FaultRate)
+	case req.Retries < 0:
+		return fmt.Errorf("serve: retries %d is negative", req.Retries)
+	case req.Shards < -1:
+		return fmt.Errorf("serve: shards %d is invalid", req.Shards)
+	case req.EpochPS < 0:
+		return fmt.Errorf("serve: epoch_ps %d is negative", req.EpochPS)
+	}
+	return nil
+}
+
+// handleJob runs one replay cell: admission gate, trace pin, supervised
+// replay (panic-contained, deterministically retried, cache-backed), one
+// JSON result. Stream requests answer in NDJSON instead.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, fmt.Errorf("serve: decoding job request: %w", err), http.StatusBadRequest)
+		return
+	}
+	if err := validateJob(req); err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	digest, err := parseDigest(req.TraceDigest)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		s.jobsRejected.Add(1)
+		fail(w, err, http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+	tr, unpin, err := s.store.Pin(digest)
+	if err != nil {
+		fail(w, err, http.StatusNotFound)
+		return
+	}
+	defer unpin()
+
+	cfg := s.jobConfig(req)
+	sup := &harness.Supervisor{
+		Ctx: r.Context(), Slice: s.cfg.Slice,
+		Retries: req.Retries, RetrySeed: req.RetrySeed,
+		Cache: s.cache,
+	}
+	if req.Stream {
+		s.streamJob(w, req, sup, cfg, tr, digest)
+		return
+	}
+	hit := s.cache.Peek(harness.CellKey{Trace: digest, Config: harness.ConfigDigest(cfg, sup.Retries, sup.RetrySeed)})
+	key, out, err := sup.ReplayCell(cfg, tr, req.Label)
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.jobsDone.Add(1)
+	if hit {
+		w.Header().Set("X-Nmsimd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Nmsimd-Cache", "miss")
+	}
+	writeJSON(w, JobResponse{
+		TraceKey:  digestString(key.Trace),
+		ConfigKey: digestString(key.Config),
+		MemFault:  out.MemFault,
+		Attempts:  out.Attempts,
+		Result:    out.Result,
+	})
+}
+
+// streamJob is the NDJSON variant: a telemetry recorder samples the
+// replay, and the supervisor's between-slice hook flushes new sample rows
+// to the client as they appear — live progress derived purely from
+// simulated time, so the stream contents are byte-deterministic even
+// though their pacing is not. The final line is the job's result object
+// (or an error object; the HTTP status is already committed by then).
+func (s *Server) streamJob(w http.ResponseWriter, req JobRequest, sup *harness.Supervisor, cfg machine.Config, tr *trace.Trace, digest uint64) {
+	epoch := units.Time(req.EpochPS)
+	if epoch <= 0 {
+		epoch = harness.DefaultEpoch
+	}
+	rec := telemetry.New(epoch)
+	cfg.Telemetry = rec // also disqualifies the cell from the result cache
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Nmsimd-Cache", "bypass")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	drain := func() error {
+		for ; sent < rec.Samples(); sent++ {
+			if err := rec.WriteSampleNDJSON(w, sent); err != nil {
+				return fmt.Errorf("serve: client gone: %w", err)
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	// The between-slice hook runs on this goroutine (the replay executes
+	// synchronously below), so drain needs no locking. A write error
+	// cancels the replay at the next slice boundary — abandoned clients
+	// stop burning simulation time.
+	sup.Interrupt = drain
+
+	key, out, err := sup.ReplayCell(cfg, tr, req.Label)
+	if derr := drain(); err == nil && derr != nil {
+		err = derr
+	}
+	if err != nil {
+		json.NewEncoder(w).Encode(struct {
+			Type string `json:"type"`
+			errorBody
+		}{Type: "error", errorBody: errorBody{Error: err.Error(), Kind: harness.FailKind(err)}})
+		return
+	}
+	telemetry.WritePhasesNDJSON(w, out.Result.Phases)
+	resp := struct {
+		Type string `json:"type"`
+		JobResponse
+	}{Type: "result", JobResponse: JobResponse{
+		TraceKey:  digestString(key.Trace),
+		ConfigKey: digestString(key.Config),
+		MemFault:  out.MemFault,
+		Attempts:  out.Attempts,
+		Result:    out.Result,
+	}}
+	s.jobsDone.Add(1)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// parseDist parses a distribution name, "" meaning uniform.
+func parseDist(s string) (workload.Dist, error) {
+	if s == "" {
+		return "", nil
+	}
+	return workload.Parse(s)
+}
+
+// normalizeSweep fills a sweep request's defaulted fields with the
+// cmd/sweep flag defaults, so a minimal request renders the same bytes a
+// flagless sweep run prints.
+func normalizeSweep(req SweepRequest) SweepRequest {
+	if req.N == 0 {
+		req.N = 1 << 20
+	}
+	if req.Seed == 0 {
+		req.Seed = 2015
+	}
+	if req.Cores == 0 {
+		req.Cores = 256
+	}
+	if req.SPMiB == 0 {
+		req.SPMiB = 8
+	}
+	if req.Format == "" {
+		req.Format = "text"
+	}
+	return req
+}
+
+// handleSweep runs a whole experiment server-side and returns the
+// rendered report — the cmd/sweep parity path. The count of failed cells
+// travels in X-Nmsimd-Failed so remote clients can reproduce the local
+// exit-code contract.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, fmt.Errorf("serve: decoding sweep request: %w", err), http.StatusBadRequest)
+		return
+	}
+	req = normalizeSweep(req)
+	f, err := report.ParseFormat(req.Format)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	dist, err := parseDist(req.Dist)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	_, known := harness.FindExperiment(req.Exp)
+	if !known && req.Exp != "table1" {
+		fail(w, fmt.Errorf("serve: unknown experiment %q (want table1 or one of: %s)",
+			req.Exp, strings.Join(harness.ExperimentNames(), ", ")), http.StatusBadRequest)
+		return
+	}
+	if req.Cores <= 0 || req.Cores%4 != 0 {
+		fail(w, fmt.Errorf("serve: cores %d must be a positive multiple of 4", req.Cores), http.StatusBadRequest)
+		return
+	}
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		s.jobsRejected.Add(1)
+		fail(w, err, http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+
+	sup := &harness.Supervisor{
+		Ctx: r.Context(), Slice: req.Slice,
+		Retries: req.Retries, RetrySeed: req.RetrySeed,
+		Cache: s.cache, Records: s.records,
+	}
+	if sup.Slice == 0 {
+		sup.Slice = s.cfg.Slice
+	}
+	wl := harness.Workload{
+		N: req.N, Seed: req.Seed, Threads: req.Cores,
+		SP: units.Bytes(req.SPMiB) * units.MiB, Dist: dist,
+		MaxEvents: req.MaxEvents, Par: req.Par, Shards: req.Shards,
+		Sup: sup,
+	}
+
+	// Render into a buffer first: a failed experiment must still be able
+	// to answer with a clean error status.
+	var body strings.Builder
+	var failed int
+	if req.Exp == "table1" {
+		var fc fault.Config
+		if req.FaultRate > 0 {
+			fc = fault.Profile(req.FaultSeed, req.FaultRate)
+		}
+		t, err := harness.Table1Faults(wl, req.DMA, fc)
+		if err != nil {
+			fail(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+		failed = t.Failed()
+		if f == report.Text {
+			fmt.Fprint(&body, t.String())
+		} else if err := t.Report().Render(&body, f); err != nil {
+			fail(w, err, http.StatusInternalServerError)
+			return
+		}
+	} else {
+		e, _ := harness.FindExperiment(req.Exp)
+		p := harness.ExperimentParams{
+			CoreList:   req.CoreList,
+			FaultSeed:  req.FaultSeed,
+			FaultRates: req.FaultRates,
+			Epoch:      units.Time(req.EpochPS),
+		}
+		sw, err := e.Run(p, wl)
+		if err != nil {
+			fail(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+		failed = sw.Failed()
+		if f == report.Text {
+			fmt.Fprint(&body, sw.String())
+		} else if err := sw.Report().Render(&body, f); err != nil {
+			fail(w, err, http.StatusInternalServerError)
+			return
+		}
+	}
+	s.sweepsDone.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Nmsimd-Failed", fmt.Sprintf("%d", failed))
+	io.WriteString(w, body.String())
+}
+
+// handleStats snapshots the serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, hits, misses := s.cache.Stats()
+	writeJSON(w, Stats{
+		Traces:       s.store.Len(),
+		TraceBytes:   s.store.Bytes(),
+		CacheEntries: entries,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Records:      s.records.Len(),
+		JobsRunning:  s.gate.Running(),
+		JobsAdmitted: s.gate.Admitted(),
+		JobsDone:     s.jobsDone.Load(),
+		JobsRejected: s.jobsRejected.Load(),
+		SweepsDone:   s.sweepsDone.Load(),
+	})
+}
+
+// handleExperiments lists the shared registry.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	infos := make([]ExperimentInfo, 0, len(harness.Experiments)+1)
+	for _, e := range harness.Experiments {
+		infos = append(infos, ExperimentInfo{Name: e.Name, Desc: e.Desc})
+	}
+	infos = append(infos, ExperimentInfo{Name: "table1", Desc: "the paper's Table I (cmd/nmsim parity); dma/dist/fault_rate apply"})
+	writeJSON(w, infos)
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// The content-addressed trace store: every trace lives in memory exactly
+// once, keyed by its digest, shared read-only by every replay that needs
+// it. Eviction is LRU within a byte budget, but a trace pinned by an
+// in-flight job is never evicted — a replay must keep its streams for its
+// whole run. The budget is therefore soft under load: pinned bytes can
+// exceed it, and the store converges back under it as pins release.
+
+// ErrTraceNotFound marks a digest the store does not (or no longer does)
+// hold; callers re-upload or re-record.
+var ErrTraceNotFound = errors.New("serve: trace not found")
+
+// opBytes is the in-memory footprint charged per recorded op: the Op
+// struct is 26 bytes padded to 32 in a slice.
+const opBytes = 32
+
+// traceBytes estimates a trace's resident footprint from its stream
+// lengths — the accounting unit for the store budget.
+func traceBytes(tr *trace.Trace) int64 {
+	var n int64
+	for _, s := range tr.Streams {
+		n += int64(len(s)) * opBytes
+	}
+	return n
+}
+
+// storeEntry is one resident trace.
+type storeEntry struct {
+	tr    *trace.Trace
+	size  int64
+	pins  int
+	elem  *list.Element // position in the recency list; value is the digest
+}
+
+// Store is the content-addressed trace store. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[uint64]*storeEntry
+	order   *list.List // front = most recently used; element values are uint64 digests
+}
+
+// NewStore returns a store bounded by budget bytes (<= 0 means a 256 MiB
+// default).
+func NewStore(budget int64) *Store {
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	return &Store{budget: budget, entries: make(map[uint64]*storeEntry), order: list.New()}
+}
+
+// Put inserts tr under its digest (recording it if needed) and returns
+// the digest. A trace already resident is not duplicated — the store
+// keeps the first copy and refreshes its recency — so concurrent uploads
+// of the same bytes cost one resident copy.
+func (s *Store) Put(tr *trace.Trace) (uint64, error) {
+	d, err := tr.Digest()
+	if err != nil {
+		return 0, fmt.Errorf("serve: digesting trace: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok {
+		s.order.MoveToFront(e.elem)
+		return d, nil
+	}
+	e := &storeEntry{tr: tr, size: traceBytes(tr)}
+	e.elem = s.order.PushFront(d)
+	s.entries[d] = e
+	s.used += e.size
+	s.evictLocked()
+	return d, nil
+}
+
+// Pin returns the trace for digest and pins it resident until release is
+// called. Pin/release pairs bracket every replay, so eviction can never
+// pull a stream out from under a running job.
+func (s *Store) Pin(digest uint64) (tr *trace.Trace, release func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %016x", ErrTraceNotFound, digest)
+	}
+	e.pins++
+	s.order.MoveToFront(e.elem)
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			e.pins--
+			s.evictLocked()
+		})
+	}
+	return e.tr, release, nil
+}
+
+// Get returns the trace for digest without pinning (metadata reads).
+func (s *Store) Get(digest uint64) (*trace.Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(e.elem)
+	return e.tr, true
+}
+
+// evictLocked drops least-recently-used unpinned traces until the store
+// fits its budget. Walks the recency list back to front — never the map —
+// skipping pinned entries.
+func (s *Store) evictLocked() {
+	for el := s.order.Back(); el != nil && s.used > s.budget; {
+		prev := el.Prev()
+		d := el.Value.(uint64)
+		if e := s.entries[d]; e.pins == 0 {
+			s.order.Remove(el)
+			delete(s.entries, d)
+			s.used -= e.size
+		}
+		el = prev
+	}
+}
+
+// Len reports the resident trace count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes reports the resident footprint estimate.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

@@ -1,0 +1,127 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// storeTrace records a distinct small trace: 64 far loads at addresses
+// offset by stamp, so each stamp yields a different digest but the same
+// footprint (64 ops ≈ 2 KiB at 32 bytes/op).
+func storeTrace(t *testing.T, stamp int) *trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder(1, trace.DefaultL1(), trace.DefaultCosts())
+	tp := rec.Thread(0)
+	for i := 0; i < 64; i++ {
+		tp.Load(addr.FarBase+addr.Addr(stamp*64+i)*4096, 8)
+	}
+	tp.Barrier()
+	return rec.Finish()
+}
+
+// TestStoreLRUEviction fills a tiny store past its budget and checks the
+// oldest unpinned trace is evicted while newer ones survive.
+func TestStoreLRUEviction(t *testing.T) {
+	// Each trace is ~(64+stamp+1) ops * 32 bytes ≈ 2 KiB; budget two.
+	s := serve.NewStore(2 * 70 * 32)
+	var digests []uint64
+	for i := 0; i < 3; i++ {
+		d, err := s.Put(storeTrace(t, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2 after eviction", s.Len())
+	}
+	if _, ok := s.Get(digests[0]); ok {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if _, ok := s.Get(digests[2]); !ok {
+		t.Fatal("newest trace was evicted")
+	}
+}
+
+// TestStorePinBlocksEviction pins a trace, overflows the budget, and
+// checks the pinned trace survives until release.
+func TestStorePinBlocksEviction(t *testing.T) {
+	s := serve.NewStore(70 * 32) // room for ~one trace
+	d0, err := s.Put(storeTrace(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := s.Pin(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(storeTrace(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(d0); !ok {
+		t.Fatal("pinned trace was evicted")
+	}
+	release()
+	// Releasing converges the store back under budget: the unpinned LRU
+	// entry (d0, refreshed by Get above... insert a newer touch first).
+	if s.Bytes() > 2*70*32 {
+		t.Fatalf("store did not converge after release: %d bytes", s.Bytes())
+	}
+	// Double release is a no-op.
+	release()
+}
+
+// TestStorePinMissing checks pinning an absent digest fails cleanly.
+func TestStorePinMissing(t *testing.T) {
+	s := serve.NewStore(0)
+	if _, _, err := s.Pin(42); !errors.Is(err, serve.ErrTraceNotFound) {
+		t.Fatalf("Pin(missing) = %v, want ErrTraceNotFound", err)
+	}
+}
+
+// TestGateBackpressure pins the 429 contract: workers+queue admissions,
+// then ErrBusy immediately (no blocking).
+func TestGateBackpressure(t *testing.T) {
+	g := serve.NewGate(1, 1)
+	ctx := context.Background()
+	rel1, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second acquisition is admitted but would block on the run slot;
+	// use a cancelled context to observe admission without blocking.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := g.Acquire(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter released its admission; fill queue then overflow.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rel2, err := g.Acquire(ctx) // takes the queue slot, blocks for the run slot
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			return
+		}
+		rel2()
+	}()
+	// Busy-wait until the goroutine is admitted (queue occupied).
+	for g.Admitted() < 2 {
+	}
+	if _, err := g.Acquire(ctx); !errors.Is(err, serve.ErrBusy) {
+		t.Fatalf("overflow acquire = %v, want ErrBusy", err)
+	}
+	rel1() // hands the run slot to the waiter
+	<-done
+	rel3, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("post-drain acquire = %v", err)
+	}
+	rel3()
+}

@@ -169,9 +169,17 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // keys cells by. (Hashing the whole stream would be wrong, not just
 // redundant: the CRC of payload‖crc(payload) is a message-independent
 // constant residue.)
+//
+// The digest is memoized: the first call serializes the stream, every
+// later call returns the stored value in O(1). Traces are immutable once
+// finished, so the memo never needs invalidating — but a caller that
+// mutates a Trace after digesting it gets the stale fingerprint, which is
+// why nothing in this module mutates a finished trace.
 func (tr *Trace) Digest() (uint64, error) {
-	_, sum, err := tr.writePayload(io.Discard)
-	return sum, err
+	tr.digestOnce.Do(func() {
+		_, tr.digestVal, tr.digestErr = tr.writePayload(io.Discard)
+	})
+	return tr.digestVal, tr.digestErr
 }
 
 // DecodeError is the diagnosable failure every ReadTrace error path

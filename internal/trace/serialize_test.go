@@ -399,7 +399,10 @@ func TestDecodeErrorSections(t *testing.T) {
 }
 
 // TestDigestStability: Digest is a pure function of the serialized bytes —
-// stable across calls, sensitive to any op change.
+// stable across calls, sensitive to any op change. Since the digest is
+// memoized on the (immutable-by-contract) Trace, sensitivity is asserted
+// through a fresh Trace header over the mutated streams; the original
+// keeps returning its memoized fingerprint.
 func TestDigestStability(t *testing.T) {
 	tr := sampleTrace(t)
 	d1, err := tr.Digest()
@@ -414,11 +417,15 @@ func TestDigestStability(t *testing.T) {
 		t.Fatalf("digest not stable: %#x != %#x", d1, d2)
 	}
 	tr.Streams[0][0].Gap++
-	d3, err := tr.Digest()
+	mutated := &Trace{Streams: tr.Streams, L1: tr.L1, Costs: tr.Costs, PhaseNames: tr.PhaseNames}
+	d3, err := mutated.Digest()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d3 == d1 {
 		t.Fatal("digest unchanged after op mutation")
+	}
+	if d4, _ := tr.Digest(); d4 != d1 {
+		t.Fatalf("memoized digest changed under the caller: %#x != %#x", d4, d1)
 	}
 }

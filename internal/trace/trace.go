@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/addr"
 	"repro/internal/cachesim"
@@ -323,7 +324,9 @@ func (r *Recorder) Finish() *Trace {
 	return tr
 }
 
-// Trace is a completed recording: one op stream per thread.
+// Trace is a completed recording: one op stream per thread. Traces are
+// immutable once finished (or deserialized): replay, sweeps, and the
+// serving layer all share one *Trace read-only across concurrent replays.
 type Trace struct {
 	Streams [][]Op
 	L1      L1Geometry
@@ -332,6 +335,15 @@ type Trace struct {
 	// PhaseNames resolves OpPhase markers: an OpPhase op's Addr indexes
 	// this table. Empty for traces recorded without phase markers.
 	PhaseNames []string
+
+	// digestOnce memoizes Digest(): the fingerprint serializes the whole
+	// stream, so computing it per cell key would make keying O(trace) on
+	// every sweep and every served job. Immutability makes the memo
+	// invalidation-free; the Once makes concurrent digest requests (many
+	// clients keying jobs against one stored trace) safe.
+	digestOnce sync.Once
+	digestVal  uint64
+	digestErr  error
 }
 
 // Ops returns the total number of recorded operations.

@@ -17,6 +17,10 @@
 #                                     boundaries must resume byte-identically
 #   8. fuzz smoke                     10s of FuzzReadTrace on the trace
 #                                     decoder (no panics on hostile bytes)
+#   9. serve smoke                    boot nmsimd, run the golden sweep
+#                                     locally + remotely cold + remotely
+#                                     cached, cmp all three byte-identical,
+#                                     SIGTERM-drain to exit 0
 #
 # Any stage failing fails the whole script. Run from anywhere inside the
 # repository.
@@ -37,5 +41,6 @@ step go test ./...
 step go test -race -short ./...
 step go test -run='^TestChaosInterruptResume$' -short -count=1 ./internal/harness
 step go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/trace
+step ./scripts/serve_smoke.sh
 
 echo "== all checks passed =="

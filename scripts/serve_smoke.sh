@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — the nmsimd daemon smoke test.
+#
+# Boots the daemon on an ephemeral port, runs the golden dma sweep three
+# ways — locally via cmd/sweep, remotely cold, remotely again (answered
+# from the daemon's result cache) — and requires all three reports to be
+# byte-identical. Then checks the cache actually hit via /v1/stats and
+# that SIGTERM drains the daemon to a clean exit 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$workdir/nmsimd" ./cmd/nmsimd
+go build -o "$workdir/sweep" ./cmd/sweep
+
+echo "== start daemon =="
+"$workdir/nmsimd" -addr 127.0.0.1:0 > "$workdir/daemon.out" &
+daemon_pid=$!
+# The startup line carries the bound address; wait for it.
+for i in $(seq 1 100); do
+	addr=$(sed -n 's/^nmsimd: listening on //p' "$workdir/daemon.out")
+	[ -n "$addr" ] && break
+	kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/daemon.out"; echo "daemon died"; exit 1; }
+	sleep 0.1
+done
+[ -n "$addr" ] && echo "daemon at $addr" || { echo "daemon never printed its address"; exit 1; }
+
+args="-exp=dma -n 8192 -cores 16 -sp 1"
+echo "== local sweep =="
+"$workdir/sweep" $args > "$workdir/local.txt"
+echo "== remote sweep (cold) =="
+"$workdir/sweep" $args -server "http://$addr" > "$workdir/cold.txt"
+echo "== remote sweep (cache hit) =="
+"$workdir/sweep" $args -server "http://$addr" > "$workdir/warm.txt"
+
+echo "== byte-identity =="
+cmp "$workdir/local.txt" "$workdir/cold.txt"
+cmp "$workdir/local.txt" "$workdir/warm.txt"
+
+echo "== cache hit check =="
+stats=$(curl -sSf "http://$addr/v1/stats")
+echo "$stats"
+hits=$(echo "$stats" | sed -n 's/.*"cache_hits":\([0-9]*\).*/\1/p')
+[ "${hits:-0}" -gt 0 ] || { echo "result cache never hit"; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$daemon_pid"
+rc=0; wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || { echo "daemon exited $rc on SIGTERM, want 0"; exit 1; }
+
+echo "== serve smoke passed =="
