@@ -76,6 +76,8 @@ type options struct {
 	cpuProfile string
 	memProfile string
 
+	traceCache string
+
 	server     string
 	jobTimeout time.Duration
 }
@@ -101,6 +103,7 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.StringVar(&o.telemetryOut, "telemetry-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the NMsort replay to this file")
 	fs.StringVar(&o.telemetryCSV, "telemetry-csv", "", "write the sampled time series of the NMsort replay to this CSV file")
 	fs.StringVar(&o.telemetryEpoch, "telemetry-epoch", "10us", "telemetry sampling resolution in simulated time (e.g. 500ns, 10us)")
+	fs.StringVar(&o.traceCache, "trace-cache", "", "directory caching recorded traces as columnar .nmt3 files across runs (byte-neutral)")
 	fs.StringVar(&o.server, "server", "", "run Table I on this nmsimd daemon (e.g. http://127.0.0.1:8080) instead of in-process; the printed table is byte-identical")
 	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "HTTP deadline for the -server request (0 = none)")
 	err := fs.Parse(args)
@@ -137,6 +140,8 @@ func (o options) validate() error {
 		switch {
 		case o.telemetry():
 			return fmt.Errorf("-telemetry-out/-telemetry-csv are local-only and conflict with -server (stream jobs via the API instead)")
+		case o.traceCache != "":
+			return fmt.Errorf("-trace-cache is local-only and conflicts with -server (the daemon keeps its own trace store)")
 		case o.n == 0:
 			return fmt.Errorf("-n 0 cannot travel to -server (the wire treats 0 as the default %d)", 1<<20)
 		case o.seed == 0:
@@ -214,6 +219,14 @@ func run(ctx context.Context, o options, w io.Writer) (int, error) {
 	}
 	f, _ := report.ParseFormat(o.format)
 	d, _ := workload.Parse(o.dist)
+	sup := &harness.Supervisor{Ctx: ctx}
+	if o.traceCache != "" {
+		rc, err := harness.NewDiskRecordCache(o.traceCache)
+		if err != nil {
+			return 0, err
+		}
+		sup.Records = rc
+	}
 	wl := harness.Workload{
 		N:         o.n,
 		Seed:      o.seed,
@@ -223,7 +236,7 @@ func run(ctx context.Context, o options, w io.Writer) (int, error) {
 		MaxEvents: o.maxEvents,
 		Par:       o.par,
 		Shards:    o.shards,
-		Sup:       &harness.Supervisor{Ctx: ctx},
+		Sup:       sup,
 	}
 	t, err := harness.Table1Faults(wl, o.dma, o.faultConfig())
 	if err != nil {

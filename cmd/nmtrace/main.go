@@ -3,17 +3,27 @@
 // execution under instrumentation), then replay or inspect it as many
 // times as needed.
 //
-//	nmtrace record -alg nmsort -n 1048576 -cores 256 -sp 4 -o nmsort.trc
-//	nmtrace replay -i nmsort.trc -near 16
-//	nmtrace info   -i nmsort.trc
+//	nmtrace record  -alg nmsort -n 1048576 -cores 256 -sp 4 -o nmsort.nmt
+//	nmtrace convert -i nmsort.nmt -o nmsort.nmt3
+//	nmtrace replay  -i nmsort.nmt3 -near 16
+//	nmtrace info    -i nmsort.nmt3
+//	nmtrace stat    -i nmsort.nmt3
+//
+// Trace files come in two serializations sharing one content digest: the
+// row-oriented v2 stream (.nmt) and the columnar v3 layout (.nmt3), which
+// replays straight from the file without decoding into memory. Every
+// subcommand sniffs the format from the file, not the extension.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/addr"
 	"repro/internal/harness"
@@ -30,10 +40,14 @@ func main() {
 	switch os.Args[1] {
 	case "record":
 		record(os.Args[2:])
+	case "convert":
+		convert(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "stat":
+		stat(os.Args[2:])
 	default:
 		usage()
 	}
@@ -41,9 +55,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  nmtrace record -alg {gnusort|nmsort|nmsort-dma|nmsort-scatter} [-n keys] [-cores n] [-sp MiB] [-seed s] -o file
-  nmtrace replay -i file [-cores n] [-near channels] [-sp MiB]
-  nmtrace info   -i file
+  nmtrace record  -alg {gnusort|nmsort|nmsort-dma|nmsort-scatter} [-n keys] [-cores n] [-sp MiB] [-seed s] -o file
+  nmtrace convert -i file -o file [-to v2|v3]
+  nmtrace replay  -i file [-cores n] [-near channels] [-sp MiB]
+  nmtrace info    -i file
+  nmtrace stat    -i file
 `)
 	os.Exit(2)
 }
@@ -87,17 +103,159 @@ func record(args []string) {
 		c.Far(), c.FarReads, c.FarWrites, c.Near(), c.NearReads, c.NearWrites, c.Atomics)
 }
 
-func load(path string) *trace.Trace {
-	f, err := os.Open(path)
+// load opens a trace file in either serialization (sniffed by magic).
+func load(path string) trace.Source {
+	src, err := trace.Load(path)
 	if err != nil {
 		log.Fatalf("nmtrace: %v", err)
 	}
-	defer f.Close()
-	tr, err := trace.ReadTrace(f)
-	if err != nil {
-		log.Fatalf("nmtrace: %v", err)
+	return src
+}
+
+// materialize decodes a source into a *Trace (columnar files decode on
+// demand; v2 files already arrive decoded).
+func materialize(src trace.Source) *trace.Trace {
+	switch s := src.(type) {
+	case *trace.Trace:
+		return s
+	case *trace.Columnar:
+		tr, err := s.Decode()
+		if err != nil {
+			log.Fatalf("nmtrace: decoding columnar trace: %v", err)
+		}
+		return tr
+	default:
+		log.Fatalf("nmtrace: unknown trace source %T", src)
+		return nil
 	}
-	return tr
+}
+
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	out := fs.String("o", "", "output trace file (required)")
+	to := fs.String("to", "", "target serialization: v2 or v3 (default: from the -o extension, .nmt3 = v3)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		log.Fatal("nmtrace convert: -i and -o are required")
+	}
+	if err := convertFile(*in, *out, *to); err != nil {
+		log.Fatalf("nmtrace convert: %v", err)
+	}
+}
+
+// convertFile rewrites the trace at in as serialization to ("v2" or "v3";
+// "" infers v3 from a .nmt3 output extension, v2 otherwise) at out.
+// Conversion is lossless and digest-preserving in both directions:
+// v2 -> v3 -> v2 and v3 -> v2 -> v3 both reproduce the input bytes.
+func convertFile(in, out, to string) error {
+	if to == "" {
+		to = "v2"
+		if strings.HasSuffix(out, ".nmt3") {
+			to = "v3"
+		}
+	}
+	src, err := trace.Load(in)
+	if err != nil {
+		return err
+	}
+	if err := src.Validate(); err != nil {
+		return fmt.Errorf("invalid trace %s: %w", in, err)
+	}
+	var data []byte
+	switch to {
+	case "v3":
+		if data, err = trace.EncodeColumnar(src); err != nil {
+			return err
+		}
+	case "v2":
+		var buf bytes.Buffer
+		tr, ok := src.(*trace.Trace)
+		if !ok {
+			if tr, err = src.(*trace.Columnar).Decode(); err != nil {
+				return err
+			}
+		}
+		if _, err = tr.WriteTo(&buf); err != nil {
+			return err
+		}
+		data = buf.Bytes()
+	default:
+		return fmt.Errorf("unknown target serialization %q (want v2 or v3)", to)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	d, err := src.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%s): %d threads, %d ops, %d bytes, digest %016x\n",
+		in, out, to, src.Threads(), src.Ops(), len(data), d)
+	return nil
+}
+
+func stat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("nmtrace stat: -i is required")
+	}
+	if err := statFile(os.Stdout, *in); err != nil {
+		log.Fatalf("nmtrace stat: %v", err)
+	}
+}
+
+// statFile prints the physical layout of a trace file: serialization,
+// digest, per-thread op counts, and (for columnar files) every column
+// segment with its file offset and size.
+func statFile(w io.Writer, path string) error {
+	src, err := trace.Load(path)
+	if err != nil {
+		return err
+	}
+	d, err := src.Digest()
+	if err != nil {
+		return err
+	}
+	version := "v2 (row stream)"
+	if _, ok := src.(*trace.Columnar); ok {
+		version = "v3 (columnar)"
+	}
+	fmt.Fprintf(w, "serialization: %s\n", version)
+	fmt.Fprintf(w, "digest:        %016x\n", d)
+	fmt.Fprintf(w, "threads:       %d\n", src.Threads())
+	fmt.Fprintf(w, "total ops:     %d\n", src.Ops())
+	for t := 0; t < src.Threads(); t++ {
+		fmt.Fprintf(w, "  thread %4d: %d ops\n", t, src.ThreadOps(t))
+	}
+	col, ok := src.(*trace.Columnar)
+	if !ok {
+		return nil
+	}
+	fmt.Fprintf(w, "file size:     %d bytes\n", col.Size())
+	byCol := make(map[string]int64)
+	for _, s := range col.Sections() {
+		byCol[s.Column] += s.Bytes
+	}
+	fmt.Fprintf(w, "column bytes (all threads):\n")
+	for _, s := range col.Sections()[:minInt(5, len(col.Sections()))] {
+		fmt.Fprintf(w, "  %-6s %12d\n", s.Column, byCol[s.Column])
+	}
+	fmt.Fprintf(w, "sections:\n")
+	for _, s := range col.Sections() {
+		fmt.Fprintf(w, "  thread %4d %-6s off %10d  %10d bytes  (shift %d)\n",
+			s.Thread, s.Column, s.Offset, s.Bytes, col.Shift(s.Thread))
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func replay(args []string) {
@@ -115,7 +273,7 @@ func replay(args []string) {
 
 	c := *cores
 	if c == 0 {
-		c = (len(tr.Streams) + 3) / 4 * 4
+		c = (tr.Threads() + 3) / 4 * 4
 	}
 	cfg := harness.NodeFor(c, *near, units.Bytes(*spMiB)*units.MiB)
 	res, err := machine.Run(cfg, tr)
@@ -163,7 +321,7 @@ func info(args []string) {
 	if *in == "" {
 		log.Fatal("nmtrace info: -i is required")
 	}
-	tr := load(*in)
+	tr := materialize(load(*in))
 	if err := tr.Validate(); err != nil {
 		log.Fatalf("nmtrace info: invalid trace: %v", err)
 	}

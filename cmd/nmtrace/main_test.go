@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// testTrace records a small but representative trace: both windows,
+// compute gaps, atomics, DMA, and barriers across three threads.
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder(3, trace.L1Geometry{
+		Capacity: 4 * 1024, Ways: 4, LineSize: 64,
+	}, trace.DefaultCosts())
+	for tid := 0; tid < 3; tid++ {
+		tp := rec.Thread(tid)
+		for i := 0; i < 300; i++ {
+			tp.Compute(int64(100 + i%7))
+			tp.Load(addr.FarBase+addr.Addr(tid<<20+i*64), 8)
+			if i%3 == 0 {
+				tp.Store(addr.NearBase+addr.Addr(tid<<16+(i%64)*64), 8)
+			}
+			if i%100 == 50 {
+				tp.Atomic(addr.NearBase + addr.Addr(tid<<16))
+				tp.DMA(addr.FarBase+addr.Addr(tid<<20), addr.NearBase+addr.Addr(tid<<16), 4096)
+				tp.DMAWait()
+				tp.Barrier()
+			}
+		}
+		tp.Barrier()
+	}
+	return rec.Finish()
+}
+
+// writeV2 serializes tr as a v2 stream at path and returns the bytes.
+func writeV2(t *testing.T, tr *trace.Trace, path string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConvertRoundTrip pins the satellite contract: converting a trace
+// between serializations and back reproduces the input file byte for
+// byte, in both directions.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v2a := filepath.Join(dir, "a.nmt")
+	v3a := filepath.Join(dir, "a.nmt3")
+	v2b := filepath.Join(dir, "b.nmt")
+	v3b := filepath.Join(dir, "b.nmt3")
+
+	orig := writeV2(t, testTrace(t), v2a)
+
+	// v2 -> v3 -> v2 must reproduce the v2 bytes.
+	if err := convertFile(v2a, v3a, ""); err != nil {
+		t.Fatalf("convert v2->v3: %v", err)
+	}
+	if err := convertFile(v3a, v2b, ""); err != nil {
+		t.Fatalf("convert v3->v2: %v", err)
+	}
+	back, err := os.ReadFile(v2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, back) {
+		t.Fatalf("v2 -> v3 -> v2 changed the bytes: %d vs %d", len(orig), len(back))
+	}
+
+	// v3 -> v2 -> v3 must reproduce the v3 bytes.
+	v3orig, err := os.ReadFile(v3a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := convertFile(v2b, v3b, "v3"); err != nil {
+		t.Fatalf("convert v2->v3 (explicit): %v", err)
+	}
+	v3back, err := os.ReadFile(v3b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v3orig, v3back) {
+		t.Fatalf("v3 -> v2 -> v3 changed the bytes: %d vs %d", len(v3orig), len(v3back))
+	}
+
+	// Digests agree across all four files.
+	var digests []uint64
+	for _, p := range []string{v2a, v3a, v2b, v3b} {
+		src, err := trace.Load(p)
+		if err != nil {
+			t.Fatalf("Load %s: %v", p, err)
+		}
+		d, err := src.Digest()
+		if err != nil {
+			t.Fatalf("Digest %s: %v", p, err)
+		}
+		if col, ok := src.(*trace.Columnar); ok {
+			col.Close()
+		}
+		digests = append(digests, d)
+	}
+	for _, d := range digests[1:] {
+		if d != digests[0] {
+			t.Fatalf("digest mismatch across conversions: %x", digests)
+		}
+	}
+}
+
+// TestConvertRejectsInvalid: conversion must refuse a trace that fails
+// validation rather than propagate it into the other serialization.
+func TestConvertRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.nmt")
+	// An unterminated stream (no OpEnd) fails Validate.
+	bad := &trace.Trace{
+		Streams: [][]trace.Op{{{Kind: trace.OpAccess, Addr: uint64(addr.FarBase)}}},
+		Costs:   trace.DefaultCosts(),
+		L1:      trace.L1Geometry{Capacity: 4 * 1024, Ways: 4, LineSize: 64},
+	}
+	writeV2(t, bad, in)
+	if err := convertFile(in, filepath.Join(dir, "bad.nmt3"), ""); err == nil {
+		t.Fatal("convertFile accepted an invalid trace")
+	}
+}
+
+// TestStatFile smoke-tests the stat surface on both serializations.
+func TestStatFile(t *testing.T) {
+	dir := t.TempDir()
+	v2p := filepath.Join(dir, "a.nmt")
+	v3p := filepath.Join(dir, "a.nmt3")
+	writeV2(t, testTrace(t), v2p)
+	if err := convertFile(v2p, v3p, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := statFile(&out, v2p); err != nil {
+		t.Fatalf("statFile v2: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"serialization: v2", "digest:", "threads:       3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("v2 stat output missing %q:\n%s", want, s)
+		}
+	}
+
+	out.Reset()
+	if err := statFile(&out, v3p); err != nil {
+		t.Fatalf("statFile v3: %v", err)
+	}
+	s = out.String()
+	for _, want := range []string{"serialization: v3", "file size:", "sections:", "tags", "addrs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("v3 stat output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -110,12 +110,13 @@ type options struct {
 	cpuProfile string
 	memProfile string
 
-	manifest  string
-	resume    bool
-	slice     uint64
-	retries   int
-	retrySeed uint64
-	timeout   time.Duration
+	manifest   string
+	resume     bool
+	slice      uint64
+	retries    int
+	retrySeed  uint64
+	timeout    time.Duration
+	traceCache string
 
 	server     string
 	jobTimeout time.Duration
@@ -145,6 +146,7 @@ func parseFlags(args []string) (options, *flag.FlagSet, error) {
 	fs.IntVar(&o.retries, "retries", 0, "deterministic re-replays of cells ending in a transient MemFault outcome")
 	fs.Uint64Var(&o.retrySeed, "retry-seed", 1, "seed for the deterministic retry reseeding chain")
 	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock bound on the whole sweep (0 = none); on expiry the partial report and manifest are flushed")
+	fs.StringVar(&o.traceCache, "trace-cache", "", "directory caching recorded traces as columnar .nmt3 files across runs (byte-neutral)")
 	fs.StringVar(&o.server, "server", "", "run the sweep on this nmsimd daemon (e.g. http://127.0.0.1:8080) instead of in-process; the printed report is byte-identical")
 	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "HTTP deadline for the -server request (0 = none)")
 	def := fs.Usage
@@ -192,6 +194,8 @@ func (o options) validate() error {
 			return fmt.Errorf("-manifest is local-only and conflicts with -server (the daemon keeps its own result cache)")
 		case o.resume:
 			return fmt.Errorf("-resume conflicts with -server")
+		case o.traceCache != "":
+			return fmt.Errorf("-trace-cache is local-only and conflicts with -server (the daemon keeps its own trace store)")
 		case o.n == 0:
 			return fmt.Errorf("-n 0 cannot travel to -server (the wire treats 0 as the default %d)", 1<<20)
 		case o.seed == 0:
@@ -263,6 +267,13 @@ func supervisor(ctx context.Context, o options) (*harness.Supervisor, error) {
 		Slice:     o.slice,
 		Retries:   o.retries,
 		RetrySeed: o.retrySeed,
+	}
+	if o.traceCache != "" {
+		rc, err := harness.NewDiskRecordCache(o.traceCache)
+		if err != nil {
+			return nil, err
+		}
+		sup.Records = rc
 	}
 	if o.manifest == "" {
 		return sup, nil

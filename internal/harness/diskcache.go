@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// DiskRecordCache memoizes Record() results as columnar v3 trace files in
+// a directory, so recorded traces survive process restarts: the first
+// sweep against a workload pays the recording cost, every later sweep —
+// in any process — opens the file. Byte-neutral like every RecordCache:
+// equal workloads record byte-identical traces, and the digest-checked
+// on-disk copy replays identically to a fresh recording.
+//
+// Only the trace is persisted. Counts are rebuilt from the trace on load
+// and Sorted is implied (Record never caches an unsorted result); NMStats
+// is not persisted, so a disk hit reports zero NMStats — nothing in the
+// replay pipeline reads it, which is why the loss is acceptable here and
+// the in-memory serve memo (which does keep NMStats) remains the daemon's
+// cache.
+//
+// Safe for concurrent use: lookups only read, and completions write via
+// an atomic temp-file rename, so a torn write can never be observed. Two
+// processes racing the same key converge on identical bytes.
+type DiskRecordCache struct {
+	dir string
+}
+
+// NewDiskRecordCache returns a cache rooted at dir, creating it if needed.
+func NewDiskRecordCache(dir string) (*DiskRecordCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: trace cache dir: %w", err)
+	}
+	return &DiskRecordCache{dir: dir}, nil
+}
+
+// path derives the cache file base path (no extension) for a normalized
+// workload: a stable CRC64 of the algorithm and the RecordKey fields.
+func (c *DiskRecordCache) path(alg Algorithm, w Workload) string {
+	key := crc64.Checksum([]byte(fmt.Sprintf("%s|%+v", alg, w)), cellCRCTable)
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%016x", alg, key))
+}
+
+// LookupRecord implements RecordCache: it tries the key's .nmt3 (columnar)
+// then .nmt (v2) file. A missing, unreadable, or invalid file is a miss —
+// the caller re-records and overwrites.
+func (c *DiskRecordCache) LookupRecord(alg Algorithm, w Workload) (RecordResult, bool) {
+	base := c.path(alg, w)
+	for _, ext := range []string{".nmt3", ".nmt"} {
+		src, err := trace.Load(base + ext)
+		if err != nil {
+			continue
+		}
+		tr, err := materialize(src)
+		if err != nil {
+			continue
+		}
+		return RecordResult{Trace: tr, Sorted: true, Counts: tr.Count()}, true
+	}
+	return RecordResult{}, false
+}
+
+// materialize decodes a loaded Source into a validated *Trace.
+func materialize(src trace.Source) (*trace.Trace, error) {
+	var tr *trace.Trace
+	switch s := src.(type) {
+	case *trace.Trace:
+		tr = s
+	case *trace.Columnar:
+		defer s.Close()
+		t, err := s.Decode()
+		if err != nil {
+			return nil, err
+		}
+		tr = t
+	default:
+		return nil, fmt.Errorf("harness: unknown trace source %T", src)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// CompleteRecord implements RecordCache: it writes the trace as a columnar
+// v3 file via an atomic temp-file rename. Persistence is best-effort — a
+// failed write only costs a future re-recording, so errors are swallowed
+// (the RecordCache interface has no error channel by design: the record
+// itself succeeded).
+func (c *DiskRecordCache) CompleteRecord(alg Algorithm, w Workload, res RecordResult) {
+	data, err := trace.EncodeColumnar(res.Trace)
+	if err != nil {
+		return
+	}
+	dst := c.path(alg, w) + ".nmt3"
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.nmt3")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), dst)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+	}
+}

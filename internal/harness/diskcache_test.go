@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestDiskRecordCacheRoundTrip pins byte-neutrality of the on-disk record
+// cache: a completion followed by a lookup returns a trace with the same
+// digest as the fresh recording, persisted as a columnar .nmt3 file.
+func TestDiskRecordCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rc, err := NewDiskRecordCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{N: 1 << 10, Seed: 3, Threads: 4, SP: 64 * units.KiB}
+
+	if _, ok := rc.LookupRecord(AlgNMSort, RecordKey(w)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	fresh, err := Record(AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.CompleteRecord(AlgNMSort, RecordKey(w), fresh)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasSuffix(ents[0].Name(), ".nmt3") {
+		t.Fatalf("cache dir contents: %v, want one .nmt3 file", ents)
+	}
+
+	got, ok := rc.LookupRecord(AlgNMSort, RecordKey(w))
+	if !ok {
+		t.Fatal("completed record not found")
+	}
+	if !got.Sorted || got.Counts != fresh.Counts {
+		t.Fatalf("cached result mismatch: %+v vs %+v", got.Counts, fresh.Counts)
+	}
+	wantD, err := fresh.Trace.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, err := got.Trace.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotD != wantD {
+		t.Fatalf("cached trace digest %016x != fresh %016x", gotD, wantD)
+	}
+
+	// A different workload is a separate key.
+	w2 := w
+	w2.Seed = 4
+	if _, ok := rc.LookupRecord(AlgNMSort, RecordKey(w2)); ok {
+		t.Fatal("different workload hit the same cache entry")
+	}
+}
+
+// TestDiskRecordCacheCorruptIsMiss: a truncated cache file must read as a
+// miss, not an error — the caller re-records and overwrites.
+func TestDiskRecordCacheCorruptIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	rc, err := NewDiskRecordCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{N: 1 << 9, Seed: 5, Threads: 2, SP: 64 * units.KiB}
+	fresh, err := Record(AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.CompleteRecord(AlgNMSort, RecordKey(w), fresh)
+
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("cache dir contents: %v", ents)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rc.LookupRecord(AlgNMSort, RecordKey(w)); ok {
+		t.Fatal("truncated cache file reported a hit")
+	}
+}
+
+// TestRecordUsesDiskCache wires the cache through a Supervisor the way
+// -trace-cache does and checks Record itself takes the hit path.
+func TestRecordUsesDiskCache(t *testing.T) {
+	rc, err := NewDiskRecordCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := &Supervisor{Records: rc}
+	w := Workload{N: 1 << 10, Seed: 7, Threads: 4, SP: 64 * units.KiB, Sup: sup}
+
+	first, err := Record(AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Record(AlgNMSort, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := first.Trace.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := second.Trace.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("disk-cached recording digest %016x != fresh %016x", d2, d1)
+	}
+}

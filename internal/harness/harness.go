@@ -301,7 +301,7 @@ func Table1Faults(w Workload, dma bool, fc fault.Config) (Table, error) {
 // runTolerant replays tr on cfg, treating a MemFault outcome as data (the
 // result is complete and correctly timed; the simulated output is
 // poisoned) and every other error — stalls, budget exhaustion — as fatal.
-func runTolerant(cfg machine.Config, tr *trace.Trace) (machine.Result, bool, error) {
+func runTolerant(cfg machine.Config, tr trace.Source) (machine.Result, bool, error) {
 	res, err := machine.Run(cfg, tr)
 	var mf *fault.MemFaultError
 	if errors.As(err, &mf) {

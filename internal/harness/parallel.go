@@ -19,11 +19,12 @@ import (
 
 // replayJob is one independent sweep point: a machine configuration plus
 // the recorded trace to replay on it. The trace is shared read-only across
-// jobs — replay never mutates a stream. label is the point's report label,
+// jobs — replay never mutates a stream — and may be a decoded *Trace or a
+// columnar v3 file replayed in place. label is the point's report label,
 // carried so supervised failures name their cell.
 type replayJob struct {
 	cfg   machine.Config
-	tr    *trace.Trace
+	tr    trace.Source
 	label string
 }
 

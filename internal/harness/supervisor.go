@@ -216,7 +216,7 @@ func (sup *Supervisor) cellKeys(jobs []replayJob) ([]CellKey, error) {
 // then executes the full runCell path: cache lookup, sliced replay with
 // panic containment, deterministic MemFault retries, checkpoint write.
 // The returned outcome is valid whenever err is nil.
-func (sup *Supervisor) ReplayCell(cfg machine.Config, tr *trace.Trace, label string) (CellKey, CellOutcome, error) {
+func (sup *Supervisor) ReplayCell(cfg machine.Config, tr trace.Source, label string) (CellKey, CellOutcome, error) {
 	td, err := tr.Digest()
 	if err != nil {
 		return CellKey{}, CellOutcome{}, fmt.Errorf("harness: digesting trace: %w", err)

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -163,6 +164,13 @@ func (l *loader) parseDir(dir string) (regular, inTest, extTest []*ast.File, err
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS.go name
+		// suffixes) so the loader type-checks the same file set go build
+		// compiles — otherwise platform-split files (trace's mmap_unix.go /
+		// mmap_other.go pair) look like duplicate declarations.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
 			continue
 		}
 		names = append(names, e.Name())

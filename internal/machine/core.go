@@ -15,12 +15,20 @@ import (
 // barriers and atomics drain outstanding misses first, DMA descriptors hand
 // off to the background engine.
 type core struct {
-	m      *Machine
-	id     int
-	group  int
-	shard  int // home shard on the sharded engine (0 when sequential)
-	stream []trace.Op
-	pc     int
+	m     *Machine
+	id    int
+	group int
+	shard int // home shard on the sharded engine (0 when sequential)
+
+	// cur streams the thread's ops. For a decoded *Trace it walks the op
+	// slice; for an mmapped v3 trace it decodes each op on the fly from the
+	// thread's column segments — either way the core only ever sees cur.Cur.
+	// eos latches once the stream is exhausted (it is the cursor-world
+	// pc >= len(stream)); the current op stays addressable across the
+	// stall-return-resume cycles below because Next is only called by
+	// advance, never by a resume.
+	cur    trace.Cursor
+	eos    bool
 	period units.Time
 
 	// Pre-bound method-value events, created once per replay. Evaluating a
@@ -47,8 +55,8 @@ type core struct {
 //
 //nmlint:hotpath
 func (c *core) run() {
-	for c.pc < len(c.stream) {
-		op := c.stream[c.pc]
+	for !c.eos {
+		op := c.cur.Cur
 
 		// Consume the op's leading compute gap exactly once.
 		if !c.gapDone && op.Gap > 0 {
@@ -72,7 +80,7 @@ func (c *core) run() {
 			}
 			if c.inflight >= c.m.cfg.MaxOutstanding {
 				c.stallFull = true
-				return // fillDone resumes us without advancing pc
+				return // fillDone resumes us without advancing the cursor
 			}
 			done := c.m.fill(c.group, addr.Addr(op.Addr))
 			c.inflight++
@@ -116,7 +124,7 @@ func (c *core) run() {
 				return
 			}
 			c.done = true
-			c.pc++
+			c.next()
 			return
 
 		case trace.OpPhase:
@@ -128,6 +136,11 @@ func (c *core) run() {
 		default:
 			panic(fmt.Sprintf("machine: core %d hit unknown op kind %d", c.id, op.Kind))
 		}
+	}
+	// Replay runs over validated sources, whose cursors never fail; a
+	// failure here means the backing bytes changed underneath the replay.
+	if err := c.cur.Err(); err != nil {
+		panic(fmt.Sprintf("machine: core %d stream broke mid-replay: %v", c.id, err))
 	}
 }
 
@@ -184,7 +197,7 @@ func (c *core) dmaDone() {
 }
 
 func (c *core) next() {
-	c.pc++
+	c.eos = !c.cur.Next()
 	c.gapDone = false
 }
 

@@ -316,9 +316,12 @@ func (m *Machine) l2Stats() cachesim.Stats {
 }
 
 // Replay runs the trace to completion and returns the result. The trace
-// must have at most Config.Cores threads; thread i runs on core i.
-func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
-	return m.ReplaySliced(tr, 0, nil)
+// must have at most Config.Cores threads; thread i runs on core i. It
+// accepts any trace.Source: a decoded *Trace or an mmapped *Columnar — the
+// replay cores stream either through cursors, so a v3 file replays without
+// ever being materialized into op slices.
+func (m *Machine) Replay(src trace.Source) (Result, error) {
+	return m.ReplaySliced(src, 0, nil)
 }
 
 // ReplaySliced is Replay with cooperative preemption: the event budget is
@@ -329,22 +332,23 @@ func (m *Machine) Replay(tr *trace.Trace) (Result, error) {
 // (engine.RunBudget resume is byte-identical, pinned by engine/slice_test
 // and machine's sliced-replay tests), so a supervisor can poll deadlines
 // and cancellation between slices without perturbing simulation state.
-func (m *Machine) ReplaySliced(tr *trace.Trace, slice uint64, pause func() error) (Result, error) {
-	if err := tr.Validate(); err != nil {
+func (m *Machine) ReplaySliced(src trace.Source, slice uint64, pause func() error) (Result, error) {
+	if err := src.Validate(); err != nil {
 		return Result{}, err
 	}
-	if len(tr.Streams) > m.cfg.Cores {
+	threads := src.Threads()
+	if threads > m.cfg.Cores {
 		return Result{}, fmt.Errorf("machine: trace has %d threads but machine has %d cores",
-			len(tr.Streams), m.cfg.Cores)
+			threads, m.cfg.Cores)
 	}
 	if m.cores != nil {
 		return Result{}, fmt.Errorf("machine: machines are single-use; build a new one per replay")
 	}
-	m.barrier = &barrierCtl{need: len(tr.Streams)}
-	m.cores = make([]*core, len(tr.Streams))
-	m.phaseNames = tr.PhaseNames
+	m.barrier = &barrierCtl{need: threads}
+	m.cores = make([]*core, threads)
+	m.phaseNames = src.PhaseTable()
 	if m.tel != nil {
-		m.coreTracks = make([]string, len(tr.Streams))
+		m.coreTracks = make([]string, threads)
 		for i := range m.coreTracks {
 			m.coreTracks[i] = fmt.Sprintf("core%d", i)
 		}
@@ -352,16 +356,19 @@ func (m *Machine) ReplaySliced(tr *trace.Trace, slice uint64, pause func() error
 	// Pre-size the event queue for this trace's steady state: per core one
 	// resume event, MaxOutstanding fill completions, and headroom for
 	// posted-write and DMA drains. Small traces never reach the bound, so
-	// cap it by the total op count; either way it is only a hint.
-	pending := len(tr.Streams)*(m.cfg.MaxOutstanding+4) + 64
-	if total := tr.Ops(); total < pending {
+	// cap it by the total op count; either way it is only a hint. (The op
+	// count is Validate-verified above, so a hostile header cannot inflate
+	// the reservation.)
+	pending := threads*(m.cfg.MaxOutstanding+4) + 64
+	if total := src.Ops(); total < pending {
 		pending = total + 16
 	}
 	m.sim.Reserve(pending)
 	period := m.cfg.CoreHz.Period()
 	nshards := m.sim.Shards()
-	for i, s := range tr.Streams {
-		c := &core{m: m, id: i, group: i / m.cfg.CoresPerGroup, stream: s, period: period}
+	for i := 0; i < threads; i++ {
+		c := &core{m: m, id: i, group: i / m.cfg.CoresPerGroup, cur: src.CursorAt(i), period: period}
+		c.eos = !c.cur.Next() // prime the first op
 		if nshards > 0 {
 			// Bin cores by home channel group: group g lives on shard
 			// g mod shards, so each shard carries a contiguous-ish slice
@@ -484,9 +491,9 @@ func (m *Machine) watch() {
 	m.sim.Watch("barrier", nil, func() int { return len(m.barrier.waiting) })
 }
 
-// Run is a convenience wrapper: build a machine from cfg and replay tr.
-func Run(cfg Config, tr *trace.Trace) (Result, error) {
-	return New(cfg).Replay(tr)
+// Run is a convenience wrapper: build a machine from cfg and replay src.
+func Run(cfg Config, src trace.Source) (Result, error) {
+	return New(cfg).Replay(src)
 }
 
 // device routes an address to its backing memory.

@@ -22,7 +22,8 @@ func TestWatchdogCatchesDroppedCompletion(t *testing.T) {
 		tp.Load(addr.FarBase, 8)
 	})
 	m.barrier = &barrierCtl{need: 1}
-	c := &core{m: m, id: 5, group: 1, stream: tr.Streams[0], period: m.cfg.CoreHz.Period()}
+	c := &core{m: m, id: 5, group: 1, cur: tr.CursorAt(0), period: m.cfg.CoreHz.Period()}
+	c.eos = !c.cur.Next()
 	m.cores = []*core{c}
 	m.watch()
 

@@ -98,19 +98,23 @@ type SweepRequest struct {
 	FaultRate float64 `json:"fault_rate,omitempty"` // table1: far bit error rate
 }
 
-// Stats is the GET /v1/stats snapshot.
+// Stats is the GET /v1/stats snapshot. TraceBytes counts decoded traces'
+// heap footprint; TraceMappedBytes counts mmapped columnar traces' file
+// bytes (address space and page cache, not Go heap). The store budget
+// spans both.
 type Stats struct {
-	Traces       int    `json:"traces"`
-	TraceBytes   int64  `json:"trace_bytes"`
-	CacheEntries int    `json:"cache_entries"`
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	Records      int    `json:"records"`
-	JobsRunning  int    `json:"jobs_running"`
-	JobsAdmitted int    `json:"jobs_admitted"`
-	JobsDone     uint64 `json:"jobs_done"`
-	JobsRejected uint64 `json:"jobs_rejected"`
-	SweepsDone   uint64 `json:"sweeps_done"`
+	Traces           int    `json:"traces"`
+	TraceBytes       int64  `json:"trace_bytes"`
+	TraceMappedBytes int64  `json:"trace_mapped_bytes"`
+	CacheEntries     int    `json:"cache_entries"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	Records          int    `json:"records"`
+	JobsRunning      int    `json:"jobs_running"`
+	JobsAdmitted     int    `json:"jobs_admitted"`
+	JobsDone         uint64 `json:"jobs_done"`
+	JobsRejected     uint64 `json:"jobs_rejected"`
+	SweepsDone       uint64 `json:"sweeps_done"`
 }
 
 // ExperimentInfo is one GET /v1/experiments row.

@@ -13,10 +13,10 @@ import (
 // the replay — the whole point of the serving layer's "identical jobs
 // answered without re-simulation" contract.
 type ResultCache struct {
-	mu    sync.Mutex
-	idx   *lruIndex[harness.CellKey, harness.CellOutcome]
-	hits  uint64
-	miss  uint64
+	mu   sync.Mutex
+	idx  *lruIndex[harness.CellKey, harness.CellOutcome]
+	hits uint64
+	miss uint64
 }
 
 // ResultCache implements the supervisor's checkpoint-store interface.

@@ -89,7 +89,15 @@ func (c *Client) UploadTrace(ctx context.Context, tr *trace.Trace) (TraceInfo, e
 	if _, err := tr.WriteTo(&buf); err != nil {
 		return TraceInfo{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/traces", &buf)
+	return c.UploadTraceBytes(ctx, buf.Bytes())
+}
+
+// UploadTraceBytes ships an already-serialized trace file — either the v2
+// stream or the columnar v3 layout; the server sniffs the magic — and
+// returns its metadata. Both serializations of one logical trace land on
+// the same digest.
+func (c *Client) UploadTraceBytes(ctx context.Context, data []byte) (TraceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/traces", bytes.NewReader(data))
 	if err != nil {
 		return TraceInfo{}, err
 	}

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// TestUploadColumnarSameDigest pins serialization-independent content
+// addressing through the daemon: uploading the v2 stream and the columnar
+// v3 encoding of one logical trace yields one digest and one resident
+// store entry, and jobs served from the v3 copy answer byte-identically
+// to jobs served from the v2 copy.
+func TestUploadColumnarSameDigest(t *testing.T) {
+	ctx := context.Background()
+	rec, err := harness.Record(harness.AlgNMSort, tinyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := trace.EncodeColumnar(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A sees only the v2 stream; server B only the v3 file.
+	_, ca := newTestServer(t, serve.Config{})
+	srvB, cb := newTestServer(t, serve.Config{})
+	infoA, err := ca.UploadTrace(ctx, rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := cb.UploadTraceBytes(ctx, v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.Digest != infoB.Digest {
+		t.Fatalf("v2 upload digest %s != v3 upload digest %s", infoA.Digest, infoB.Digest)
+	}
+
+	rawA, _, _, err := ca.SubmitJob(ctx, tinyJob(infoA.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, _, _, err := cb.SubmitJob(ctx, tinyJob(infoB.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("job served from v3 differs from v2:\nv2: %s\nv3: %s", rawA, rawB)
+	}
+
+	// Re-uploading the other serialization must not duplicate the entry.
+	if _, err := cb.UploadTrace(ctx, rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if srvB.Store().Len() != 1 {
+		t.Fatalf("store holds %d traces after cross-serialization re-upload, want 1", srvB.Store().Len())
+	}
+}
+
+// TestStoreMappedAccounting pins the heap/mapped budget split: a mapped
+// columnar file charges MappedBytes, an uploaded (heap-backed) columnar
+// charges Bytes, and both spend the same LRU budget.
+func TestStoreMappedAccounting(t *testing.T) {
+	tr := storeTrace(t, 0)
+	data, err := trace.EncodeColumnar(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.nmt3")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	col, err := trace.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.NewStore(1 << 20)
+	if _, err := s.Put(col); err != nil {
+		t.Fatal(err)
+	}
+	if s.MappedBytes() != int64(len(data)) {
+		t.Fatalf("MappedBytes = %d, want %d", s.MappedBytes(), len(data))
+	}
+	if s.Bytes() != 0 {
+		t.Fatalf("mapped trace charged %d heap bytes", s.Bytes())
+	}
+
+	heapCol, err := trace.OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := serve.NewStore(1 << 20)
+	if _, err := s2.Put(heapCol); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Bytes() != int64(len(data)) || s2.MappedBytes() != 0 {
+		t.Fatalf("heap columnar charged heap %d / mapped %d, want %d / 0",
+			s2.Bytes(), s2.MappedBytes(), len(data))
+	}
+}
+
+// TestStorePinnedColumnarSurvivesEviction pins the never-unmap-under-a-
+// reader contract at the store layer: a pinned columnar trace evicted by
+// budget pressure stays fully readable through its cursors until released.
+func TestStorePinnedColumnarSurvivesEviction(t *testing.T) {
+	tr := storeTrace(t, 0)
+	data, err := trace.EncodeColumnar(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.nmt3")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	col, err := trace.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.NewStore(int64(len(data))) // room for exactly one entry
+	d, err := s.Put(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, release, err := s.Pin(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the budget: the pinned mapped entry must survive.
+	if _, err := s.Put(storeTrace(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(d); !ok {
+		t.Fatal("pinned columnar trace was evicted")
+	}
+	cur := src.CursorAt(0)
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("pinned columnar cursor failed: %v", err)
+	}
+	if n != src.ThreadOps(0) {
+		t.Fatalf("pinned cursor produced %d ops, want %d", n, src.ThreadOps(0))
+	}
+	release()
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -131,37 +132,61 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // traceInfo builds the metadata response for a stored trace.
-func traceInfo(digest uint64, tr *trace.Trace) TraceInfo {
-	var ops int64
-	for _, st := range tr.Streams {
-		ops += int64(len(st))
-	}
+func traceInfo(digest uint64, src trace.Source) TraceInfo {
+	heap, mapped := sourceBytes(src)
 	return TraceInfo{
 		Digest:  digestString(digest),
-		Threads: len(tr.Streams),
-		Ops:     ops,
-		Bytes:   traceBytes(tr),
+		Threads: src.Threads(),
+		Ops:     int64(src.Ops()),
+		Bytes:   heap + mapped,
 	}
 }
 
-// handleUpload ingests a serialized trace stream (the trace.WriteTo
-// format, checksum-verified by ReadTrace) into the store.
+// handleUpload ingests a serialized trace stream into the store, in either
+// serialization: v1/v2 (trace.WriteTo bytes, checksum-verified by
+// ReadTrace) or columnar v3, sniffed by magic. A v3 upload is stored as a
+// *trace.Columnar and replayed straight from its column bytes — but only
+// after Verify recomputes both its payload CRC and its content digest: the
+// store is content-addressed by the footer's digest claim, so a forged
+// footer could otherwise poison the cache entry of a different trace.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	tr, err := trace.ReadTrace(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
-	if err != nil {
+	var src trace.Source
+	if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)); err != nil {
 		fail(w, fmt.Errorf("serve: reading trace: %w", err), http.StatusBadRequest)
 		return
+	} else if trace.IsColumnar(body) {
+		col, err := trace.OpenBytes(body)
+		if err != nil {
+			fail(w, fmt.Errorf("serve: reading trace: %w", err), http.StatusBadRequest)
+			return
+		}
+		if err := col.Verify(); err != nil {
+			fail(w, fmt.Errorf("serve: reading trace: %w", err), http.StatusBadRequest)
+			return
+		}
+		if err := col.Validate(); err != nil {
+			fail(w, fmt.Errorf("serve: invalid trace: %w", err), http.StatusBadRequest)
+			return
+		}
+		src = col
+	} else {
+		tr, err := trace.ReadTrace(bytes.NewReader(body))
+		if err != nil {
+			fail(w, fmt.Errorf("serve: reading trace: %w", err), http.StatusBadRequest)
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			fail(w, fmt.Errorf("serve: invalid trace: %w", err), http.StatusBadRequest)
+			return
+		}
+		src = tr
 	}
-	if err := tr.Validate(); err != nil {
-		fail(w, fmt.Errorf("serve: invalid trace: %w", err), http.StatusBadRequest)
-		return
-	}
-	d, err := s.store.Put(tr)
+	d, err := s.store.Put(src)
 	if err != nil {
 		fail(w, err, http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, traceInfo(d, tr))
+	writeJSON(w, traceInfo(d, src))
 }
 
 // handleRecord records an algorithm trace server-side and stores it.
@@ -208,22 +233,29 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, traceInfo(d, res.Trace))
 }
 
-// handleFetchTrace streams a stored trace back in its serialized form.
-// The trace stays pinned for the duration of the write.
+// handleFetchTrace streams a stored trace back in its serialized form —
+// v2 bytes for a decoded trace, the raw v3 file for a columnar one (both
+// WriteTo implementations satisfy io.WriterTo). The trace stays pinned
+// for the duration of the write.
 func (s *Server) handleFetchTrace(w http.ResponseWriter, r *http.Request) {
 	d, err := parseDigest(r.PathValue("digest"))
 	if err != nil {
 		fail(w, err, http.StatusBadRequest)
 		return
 	}
-	tr, release, err := s.store.Pin(d)
+	src, release, err := s.store.Pin(d)
 	if err != nil {
 		fail(w, err, http.StatusNotFound)
 		return
 	}
 	defer release()
+	wt, ok := src.(io.WriterTo)
+	if !ok {
+		fail(w, fmt.Errorf("serve: trace %016x is not serializable", d), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	tr.WriteTo(w)
+	wt.WriteTo(w)
 }
 
 // jobConfig translates a JobRequest into the machine configuration,
@@ -331,7 +363,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // simulated time, so the stream contents are byte-deterministic even
 // though their pacing is not. The final line is the job's result object
 // (or an error object; the HTTP status is already committed by then).
-func (s *Server) streamJob(w http.ResponseWriter, req JobRequest, sup *harness.Supervisor, cfg machine.Config, tr *trace.Trace, digest uint64) {
+func (s *Server) streamJob(w http.ResponseWriter, req JobRequest, sup *harness.Supervisor, cfg machine.Config, tr trace.Source, digest uint64) {
 	epoch := units.Time(req.EpochPS)
 	if epoch <= 0 {
 		epoch = harness.DefaultEpoch
@@ -522,17 +554,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.cache.Stats()
 	writeJSON(w, Stats{
-		Traces:       s.store.Len(),
-		TraceBytes:   s.store.Bytes(),
-		CacheEntries: entries,
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Records:      s.records.Len(),
-		JobsRunning:  s.gate.Running(),
-		JobsAdmitted: s.gate.Admitted(),
-		JobsDone:     s.jobsDone.Load(),
-		JobsRejected: s.jobsRejected.Load(),
-		SweepsDone:   s.sweepsDone.Load(),
+		Traces:           s.store.Len(),
+		TraceBytes:       s.store.Bytes(),
+		TraceMappedBytes: s.store.MappedBytes(),
+		CacheEntries:     entries,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		Records:          s.records.Len(),
+		JobsRunning:      s.gate.Running(),
+		JobsAdmitted:     s.gate.Admitted(),
+		JobsDone:         s.jobsDone.Load(),
+		JobsRejected:     s.jobsRejected.Load(),
+		SweepsDone:       s.sweepsDone.Load(),
 	})
 }
 

@@ -15,6 +15,16 @@ import (
 // in-flight job is never evicted — a replay must keep its streams for its
 // whole run. The budget is therefore soft under load: pinned bytes can
 // exceed it, and the store converges back under it as pins release.
+//
+// Entries are trace.Sources: decoded *Trace uploads charge heap bytes,
+// columnar (v3) traces charge their raw file size — split into heap bytes
+// (OpenBytes over an upload body) and mapped bytes (Open over a local
+// file), because a mapped trace holds address space and page cache, not Go
+// heap. Both spend the same budget; Stats reports the split. Eviction only
+// drops the store's reference: a pinned Source stays valid for its
+// borrower, and a mapped Columnar's pages are released by the finalizer
+// trace.Open installs once the last reference (store, pin, or cursor)
+// goes away — the store never unmaps under a reader.
 
 // ErrTraceNotFound marks a digest the store does not (or no longer does)
 // hold; callers re-upload or re-record.
@@ -24,8 +34,8 @@ var ErrTraceNotFound = errors.New("serve: trace not found")
 // struct is 26 bytes padded to 32 in a slice.
 const opBytes = 32
 
-// traceBytes estimates a trace's resident footprint from its stream
-// lengths — the accounting unit for the store budget.
+// traceBytes estimates a decoded trace's resident footprint from its
+// stream lengths — the accounting unit for the store budget.
 func traceBytes(tr *trace.Trace) int64 {
 	var n int64
 	for _, s := range tr.Streams {
@@ -34,25 +44,43 @@ func traceBytes(tr *trace.Trace) int64 {
 	return n
 }
 
+// sourceBytes splits a source's resident footprint into heap and mapped
+// bytes.
+func sourceBytes(src trace.Source) (heap, mapped int64) {
+	switch s := src.(type) {
+	case *trace.Trace:
+		return traceBytes(s), 0
+	case *trace.Columnar:
+		if s.Mapped() {
+			return 0, s.Size()
+		}
+		return s.Size(), 0
+	default:
+		return int64(src.Ops()) * opBytes, 0
+	}
+}
+
 // storeEntry is one resident trace.
 type storeEntry struct {
-	tr    *trace.Trace
-	size  int64
-	pins  int
-	elem  *list.Element // position in the recency list; value is the digest
+	src    trace.Source
+	heap   int64
+	mapped int64
+	pins   int
+	elem   *list.Element // position in the recency list; value is the digest
 }
 
 // Store is the content-addressed trace store. Safe for concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	budget  int64
-	used    int64
-	entries map[uint64]*storeEntry
-	order   *list.List // front = most recently used; element values are uint64 digests
+	mu         sync.Mutex
+	budget     int64
+	usedHeap   int64
+	usedMapped int64
+	entries    map[uint64]*storeEntry
+	order      *list.List // front = most recently used; element values are uint64 digests
 }
 
 // NewStore returns a store bounded by budget bytes (<= 0 means a 256 MiB
-// default).
+// default). The budget covers heap and mapped bytes together.
 func NewStore(budget int64) *Store {
 	if budget <= 0 {
 		budget = 256 << 20
@@ -60,12 +88,13 @@ func NewStore(budget int64) *Store {
 	return &Store{budget: budget, entries: make(map[uint64]*storeEntry), order: list.New()}
 }
 
-// Put inserts tr under its digest (recording it if needed) and returns
-// the digest. A trace already resident is not duplicated — the store
-// keeps the first copy and refreshes its recency — so concurrent uploads
-// of the same bytes cost one resident copy.
-func (s *Store) Put(tr *trace.Trace) (uint64, error) {
-	d, err := tr.Digest()
+// Put inserts src under its digest and returns the digest. A trace already
+// resident is not duplicated — the store keeps the first copy and
+// refreshes its recency — so concurrent uploads of the same logical trace
+// (in either serialization; the digest is encoding-independent) cost one
+// resident copy.
+func (s *Store) Put(src trace.Source) (uint64, error) {
+	d, err := src.Digest()
 	if err != nil {
 		return 0, fmt.Errorf("serve: digesting trace: %w", err)
 	}
@@ -75,18 +104,20 @@ func (s *Store) Put(tr *trace.Trace) (uint64, error) {
 		s.order.MoveToFront(e.elem)
 		return d, nil
 	}
-	e := &storeEntry{tr: tr, size: traceBytes(tr)}
+	e := &storeEntry{src: src}
+	e.heap, e.mapped = sourceBytes(src)
 	e.elem = s.order.PushFront(d)
 	s.entries[d] = e
-	s.used += e.size
+	s.usedHeap += e.heap
+	s.usedMapped += e.mapped
 	s.evictLocked()
 	return d, nil
 }
 
 // Pin returns the trace for digest and pins it resident until release is
 // called. Pin/release pairs bracket every replay, so eviction can never
-// pull a stream out from under a running job.
-func (s *Store) Pin(digest uint64) (tr *trace.Trace, release func(), err error) {
+// pull a stream — or unmap a columnar file — out from under a running job.
+func (s *Store) Pin(digest uint64) (src trace.Source, release func(), err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[digest]
@@ -104,11 +135,11 @@ func (s *Store) Pin(digest uint64) (tr *trace.Trace, release func(), err error) 
 			s.evictLocked()
 		})
 	}
-	return e.tr, release, nil
+	return e.src, release, nil
 }
 
 // Get returns the trace for digest without pinning (metadata reads).
-func (s *Store) Get(digest uint64) (*trace.Trace, bool) {
+func (s *Store) Get(digest uint64) (trace.Source, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[digest]
@@ -116,20 +147,21 @@ func (s *Store) Get(digest uint64) (*trace.Trace, bool) {
 		return nil, false
 	}
 	s.order.MoveToFront(e.elem)
-	return e.tr, true
+	return e.src, true
 }
 
 // evictLocked drops least-recently-used unpinned traces until the store
 // fits its budget. Walks the recency list back to front — never the map —
 // skipping pinned entries.
 func (s *Store) evictLocked() {
-	for el := s.order.Back(); el != nil && s.used > s.budget; {
+	for el := s.order.Back(); el != nil && s.usedHeap+s.usedMapped > s.budget; {
 		prev := el.Prev()
 		d := el.Value.(uint64)
 		if e := s.entries[d]; e.pins == 0 {
 			s.order.Remove(el)
 			delete(s.entries, d)
-			s.used -= e.size
+			s.usedHeap -= e.heap
+			s.usedMapped -= e.mapped
 		}
 		el = prev
 	}
@@ -142,9 +174,16 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
-// Bytes reports the resident footprint estimate.
+// Bytes reports the resident heap footprint estimate.
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.used
+	return s.usedHeap
+}
+
+// MappedBytes reports the resident mmap footprint.
+func (s *Store) MappedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usedMapped
 }

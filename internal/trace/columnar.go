@@ -1,0 +1,793 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math/bits"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/addr"
+	"repro/internal/units"
+)
+
+// levelCheck is the non-panicking twin of addr.LevelOf: Columnar.Validate
+// runs over untrusted files (daemon uploads), where a stray address is
+// hostile input to reject, not a recorder bug to crash on. Every address at
+// or above the far window's base routes to a level.
+func levelCheck(a uint64) error {
+	if addr.Addr(a) < addr.FarBase {
+		return fmt.Errorf("address %#x outside both memory windows", a)
+	}
+	return nil
+}
+
+// Serialization v3: a read-only columnar layout designed for mmap. Where
+// v2 interleaves every field of every op into one varint stream that must
+// be fully decoded before the first replay event, v3 stores each thread's
+// ops as five parallel column segments that a Cursor scans sequentially —
+// the same per-thread sequential access pattern the replay cores have.
+// Open validates structure in O(1) (footer, section table, header) and
+// never touches the column bytes until a cursor reads them.
+//
+// Layout (all integers little-endian):
+//
+//	header:  magic "NMT3" | 9 x i64 (version=3, 4 costs, l1 cap/line/ways,
+//	         threads) | phase names: count i64, per name uvarint len + bytes
+//	per thread, five column sections, each zero-padded to a 64-byte
+//	boundary, in file order tags, gaps, addrs, dma, phase:
+//	  tags:  blocks: control uvarint c; c&1 = 1 is a run — one tag byte
+//	         (same bits as v2) repeated (c>>1)+3 times; c&1 = 0 is a
+//	         literal — (c>>1)+1 raw tag bytes follow. Real traces
+//	         alternate tags every op or two, where plain RLE expands;
+//	         literal blocks keep those regions at ~1 byte/op while long
+//	         runs still collapse.
+//	  gaps:  uvarint dictionary size D, then D gap values as fixed-width
+//	         u32 little-endian (frequency-descending, value-ascending on
+//	         ties, so hot gaps get 1-byte indices), then one uvarint dict
+//	         index per op whose tag sets tagHasGap. Recorded gaps draw
+//	         from a few hundred distinct cost sums, so indices beat the
+//	         raw values; fixed-width entries keep cursor lookup O(1).
+//	  addrs: signed varint delta of (addr >> shift) per OpAccess/OpAtomic;
+//	         shift is the thread's shared trailing-zero count, so line-
+//	         aligned addresses shed their always-zero low bits
+//	  dma:   uvarint src, dst, size per OpDMA
+//	  phase: uvarint phase id per OpPhase
+//	section table (64-byte aligned): per thread, i64 ops, i64 shift, then
+//	  per column i64 offset + i64 length (96 bytes per thread)
+//	footer, the final 64 bytes:
+//	  0:  section table offset      8: section table length
+//	  16: thread count             24: total op count
+//	  32: content digest           40: crc64(ECMA) of file[:len-64]
+//	  48: crc64(ECMA) of footer[:48]
+//	  56: magic "NMT3FOOT"
+//
+// The content digest is the canonical v2 payload CRC (Trace.Digest), so
+// every encoding of the same logical trace shares one digest and the
+// daemon's content-addressed store serves v3 uploads transparently. Open
+// trusts the stored digest (O(1)); Verify recomputes both checksums.
+const (
+	columnarMagic       = "NMT3"
+	columnarFooterMagic = "NMT3FOOT"
+	columnarVersion     = 3
+	columnarAlign       = 64
+	footerSize          = 64
+	tableEntrySize      = (2 + 2*numCols) * 8 // ops, shift, 5 x (off, len)
+
+	// maxOpsPerColByte bounds the op count a thread section may claim
+	// relative to its encoded size. Tag runs compress field-free ops
+	// (barriers, DMA waits) to a fraction of a byte each, but real traces
+	// never sustain runs past a few thousand; the cap keeps a hostile
+	// header from claiming 2^60 ops in a 1KB file and turning Validate or
+	// Decode into a CPU/allocation amplifier. The additive slack admits
+	// tiny legitimate streams (an OpEnd-only thread encodes in 2 bytes).
+	maxOpsPerColByte = 64
+	opsClaimSlack    = 4096
+
+	// minTagRun is the shortest tag repetition worth a run block: a run
+	// block costs 2 bytes, so runs of 1-2 are cheaper inside literals.
+	minTagRun = 3
+)
+
+// colThread is one parsed section-table entry.
+type colThread struct {
+	ops   int64
+	shift uint
+	off   [numCols]int64
+	end   [numCols]int64
+}
+
+// Columnar is an opened v3 trace: a read-only view over the raw file bytes
+// (mmap-backed when the platform allows) that implements Source without
+// materializing []Op. It is immutable and safe for concurrent cursors.
+type Columnar struct {
+	data   []byte
+	mapped bool
+
+	costs      Costs
+	l1         L1Geometry
+	phaseNames []string
+	threads    []colThread
+	totalOps   int64
+	digest     uint64
+	payloadCRC uint64
+	tableOff   int64
+
+	// validateOnce memoizes Validate: the walk is O(ops) and the daemon
+	// validates once per upload, then replays many times.
+	validateOnce sync.Once
+	validateErr  error
+}
+
+// EncodeColumnar serializes src into the v3 columnar format.
+func EncodeColumnar(src Source) ([]byte, error) {
+	threads := src.Threads()
+	if threads == 0 {
+		return nil, fmt.Errorf("trace: refusing to serialize a trace with no threads")
+	}
+	if threads > maxThreads {
+		return nil, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", threads, maxThreads)
+	}
+	names := src.PhaseTable()
+	if len(names) > maxPhaseNames {
+		return nil, fmt.Errorf("trace: refusing to serialize %d phase names (max %d)", len(names), maxPhaseNames)
+	}
+	digest, err := src.Digest()
+	if err != nil {
+		return nil, err
+	}
+
+	var out bytes.Buffer
+	out.WriteString(columnarMagic)
+	costs, l1 := src.CostModel(), src.Geometry()
+	hdr := []int64{
+		columnarVersion,
+		costs.IssueCycles, costs.L1HitCycles, costs.CompareCycles, costs.AtomicCycles,
+		int64(l1.Capacity), int64(l1.LineSize), int64(l1.Ways),
+		int64(threads),
+	}
+	if err := binary.Write(&out, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	if err := binary.Write(&out, binary.LittleEndian, int64(len(names))); err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		out.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(len(name)))])
+		out.WriteString(name)
+	}
+
+	align := func() {
+		for out.Len()%columnarAlign != 0 {
+			out.WriteByte(0)
+		}
+	}
+
+	table := make([]colThread, threads)
+	totalOps := int64(0)
+	for t := 0; t < threads; t++ {
+		// Pass 1: the thread's address shift is the trailing-zero count
+		// shared by every access/atomic address (line alignment makes this
+		// at least log2(line size) in practice).
+		var orAddr uint64
+		cur := src.CursorAt(t)
+		n := int64(0)
+		for cur.Next() {
+			if k := cur.Cur.Kind; k == OpAccess || k == OpAtomic {
+				orAddr |= cur.Cur.Addr
+			}
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			return nil, err
+		}
+		shift := uint(0)
+		if orAddr != 0 {
+			shift = uint(bits.TrailingZeros64(orAddr))
+		}
+		table[t].ops = n
+		table[t].shift = shift
+		totalOps += n
+
+		// Pass 2: encode the five columns. Tags and gaps buffer their raw
+		// streams first — block and dictionary encoding both need to see
+		// the whole thread.
+		var cols [numCols][]byte
+		putU := func(col int, v uint64) {
+			cols[col] = append(cols[col], vbuf[:binary.PutUvarint(vbuf[:], v)]...)
+		}
+		putV := func(col int, v int64) {
+			cols[col] = append(cols[col], vbuf[:binary.PutVarint(vbuf[:], v)]...)
+		}
+		tags := make([]byte, 0, n)
+		gaps := make([]uint32, 0, n)
+		var prev uint64
+		cur = src.CursorAt(t)
+		for cur.Next() {
+			op := cur.Cur
+			tag := byte(op.Kind) & tagKindMask
+			if op.Write {
+				tag |= tagWrite
+			}
+			if op.Gap != 0 {
+				tag |= tagHasGap
+				gaps = append(gaps, op.Gap)
+			}
+			tags = append(tags, tag)
+			switch op.Kind {
+			case OpAccess, OpAtomic:
+				sa := op.Addr >> shift
+				putV(colAddrs, int64(sa-prev))
+				prev = sa
+			case OpDMA:
+				putU(colDMAs, op.Addr)
+				putU(colDMAs, op.Addr2)
+				putU(colDMAs, uint64(op.Size))
+			case OpPhase:
+				putU(colPhases, op.Addr)
+			}
+		}
+		if err := cur.Err(); err != nil {
+			return nil, err
+		}
+		cols[colTags] = encodeTagBlocks(tags)
+		cols[colGaps] = encodeGapDict(gaps)
+		for col := range cols {
+			align()
+			table[t].off[col] = int64(out.Len())
+			out.Write(cols[col])
+			table[t].end[col] = int64(out.Len())
+		}
+	}
+
+	align()
+	tableOff := out.Len()
+	for t := range table {
+		ent := []int64{table[t].ops, int64(table[t].shift)}
+		for col := 0; col < numCols; col++ {
+			ent = append(ent, table[t].off[col], table[t].end[col]-table[t].off[col])
+		}
+		if err := binary.Write(&out, binary.LittleEndian, ent); err != nil {
+			return nil, err
+		}
+	}
+
+	var ftr [footerSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(ftr[0:], uint64(tableOff))
+	le.PutUint64(ftr[8:], uint64(threads*tableEntrySize))
+	le.PutUint64(ftr[16:], uint64(threads))
+	le.PutUint64(ftr[24:], uint64(totalOps))
+	le.PutUint64(ftr[32:], digest)
+	le.PutUint64(ftr[40:], crc64.Checksum(out.Bytes(), crcTable))
+	le.PutUint64(ftr[48:], crc64.Checksum(ftr[:48], crcTable))
+	copy(ftr[56:], columnarFooterMagic)
+	out.Write(ftr[:])
+	return out.Bytes(), nil
+}
+
+// encodeTagBlocks block-encodes a thread's raw tag stream: greedy runs of
+// minTagRun or more become run blocks, everything between them one literal
+// block. Deterministic, so re-encoding a decoded trace is byte-identical.
+func encodeTagBlocks(tags []byte) []byte {
+	var vbuf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, len(tags)+len(tags)/64+1)
+	for i := 0; i < len(tags); {
+		j := i
+		for j < len(tags) && tags[j] == tags[i] {
+			j++
+		}
+		if j-i >= minTagRun {
+			out = append(out, vbuf[:binary.PutUvarint(vbuf[:], uint64(j-i-minTagRun)<<1|1)]...)
+			out = append(out, tags[i])
+			i = j
+			continue
+		}
+		// Literal: extend across short runs until a compressible run starts.
+		k := i
+		for k < len(tags) {
+			j = k
+			for j < len(tags) && tags[j] == tags[k] {
+				j++
+			}
+			if j-k >= minTagRun {
+				break
+			}
+			k = j
+		}
+		out = append(out, vbuf[:binary.PutUvarint(vbuf[:], uint64(k-i-1)<<1)]...)
+		out = append(out, tags[i:k]...)
+		i = k
+	}
+	return out
+}
+
+// encodeGapDict dictionary-encodes a thread's gap values: the distinct
+// values sorted by frequency (ties by value, for determinism) as
+// fixed-width u32 entries, then each gap as a uvarint index. The hottest
+// values land in the 1-byte index range.
+func encodeGapDict(gaps []uint32) []byte {
+	sorted := append([]uint32(nil), gaps...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	type valCount struct {
+		v uint32
+		c int
+	}
+	var vals []valCount
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		vals = append(vals, valCount{sorted[i], j - i})
+		i = j
+	}
+	sort.Slice(vals, func(a, b int) bool {
+		if vals[a].c != vals[b].c {
+			return vals[a].c > vals[b].c
+		}
+		return vals[a].v < vals[b].v
+	})
+	// rank, sorted by value for binary-search lookup during the index pass.
+	type valRank struct {
+		v uint32
+		r uint64
+	}
+	lookup := make([]valRank, len(vals))
+	for r, e := range vals {
+		lookup[r] = valRank{e.v, uint64(r)}
+	}
+	sort.Slice(lookup, func(a, b int) bool { return lookup[a].v < lookup[b].v })
+
+	var vbuf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 1+4*len(vals)+len(gaps))
+	out = append(out, vbuf[:binary.PutUvarint(vbuf[:], uint64(len(vals)))]...)
+	for _, e := range vals {
+		var b4 [4]byte
+		binary.LittleEndian.PutUint32(b4[:], e.v)
+		out = append(out, b4[:]...)
+	}
+	for _, g := range gaps {
+		i := sort.Search(len(lookup), func(k int) bool { return lookup[k].v >= g })
+		out = append(out, vbuf[:binary.PutUvarint(vbuf[:], lookup[i].r)]...)
+	}
+	return out
+}
+
+// IsColumnar reports whether data begins with the v3 magic — the sniff the
+// upload handler and Load use to pick a decoder.
+func IsColumnar(data []byte) bool {
+	return len(data) >= len(columnarMagic) && string(data[:len(columnarMagic)]) == columnarMagic
+}
+
+// Open maps the v3 file at path (falling back to a plain read where mmap is
+// unavailable) and validates its structure — footer, section table, header —
+// in O(1) without decoding any ops. The returned Columnar is ready to hand
+// out cursors immediately; a finalizer releases the mapping if the caller
+// never calls Close.
+func Open(path string) (*Columnar, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := openBytes(data, mapped)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenBytes opens a v3 trace held in memory (an uploaded request body, a
+// test fixture). The Columnar aliases data; the caller must not mutate it.
+func OpenBytes(data []byte) (*Columnar, error) { return openBytes(data, false) }
+
+func openBytes(data []byte, mapped bool) (*Columnar, error) {
+	le := binary.LittleEndian
+	if len(data) < footerSize {
+		return nil, decodeErrf("footer", len(data), "file too small for a v3 footer (%d bytes)", len(data))
+	}
+	fOff := len(data) - footerSize
+	ftr := data[fOff:]
+	if string(ftr[56:64]) != columnarFooterMagic {
+		return nil, decodeErrf("footer", fOff+56, "bad footer magic %q", ftr[56:64])
+	}
+	if got, want := crc64.Checksum(ftr[:48], crcTable), le.Uint64(ftr[48:56]); got != want {
+		return nil, decodeErrf("footer", fOff+48, "footer checksum mismatch (%#x != %#x)", got, want)
+	}
+	tableOff := int64(le.Uint64(ftr[0:8]))
+	tableLen := int64(le.Uint64(ftr[8:16]))
+	threads := int64(le.Uint64(ftr[16:24]))
+	totalOps := int64(le.Uint64(ftr[24:32]))
+	if threads <= 0 || threads > maxThreads {
+		return nil, decodeErrf("footer", fOff+16, "implausible thread count %d", threads)
+	}
+	if tableLen != threads*tableEntrySize {
+		return nil, decodeErrf("footer", fOff+8, "section table length %d != %d threads x %d", tableLen, threads, tableEntrySize)
+	}
+	if tableOff < 0 || tableOff+tableLen != int64(fOff) {
+		return nil, decodeErrf("footer", fOff, "section table [%d,%d) does not abut the footer at %d", tableOff, tableOff+tableLen, fOff)
+	}
+	if totalOps < 0 {
+		return nil, decodeErrf("footer", fOff+24, "negative total op count")
+	}
+
+	// Header: same field set as v2 behind the v3 magic.
+	br := bytes.NewReader(data[:tableOff])
+	off := func() int { return int(tableOff) - br.Len() }
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, decodeErr("header", off(), fmt.Errorf("reading magic: %w", err))
+	}
+	if string(magic) != columnarMagic {
+		return nil, decodeErrf("header", 0, "bad magic %q", magic)
+	}
+	hdr := make([]int64, 9)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, decodeErr("header", off(), fmt.Errorf("reading fields: %w", err))
+	}
+	if hdr[0] != columnarVersion {
+		return nil, decodeErrf("header", 4, "unsupported version %d", hdr[0])
+	}
+	if hdr[8] != threads {
+		return nil, decodeErrf("header", off()-8, "header thread count %d != footer %d", hdr[8], threads)
+	}
+	c := &Columnar{
+		data:   data,
+		mapped: mapped,
+		costs: Costs{
+			IssueCycles: hdr[1], L1HitCycles: hdr[2],
+			CompareCycles: hdr[3], AtomicCycles: hdr[4],
+		},
+		l1: L1Geometry{
+			Capacity: units.Bytes(hdr[5]),
+			LineSize: units.Bytes(hdr[6]),
+			Ways:     int(hdr[7]),
+		},
+		totalOps:   totalOps,
+		digest:     le.Uint64(ftr[32:40]),
+		payloadCRC: le.Uint64(ftr[40:48]),
+		tableOff:   tableOff,
+	}
+	var nNames int64
+	if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+		return nil, decodeErr("phase table", off(), fmt.Errorf("phase-name count: %w", err))
+	}
+	if nNames < 0 || nNames > maxPhaseNames {
+		return nil, decodeErrf("phase table", off()-8, "implausible phase-name count %d", nNames)
+	}
+	for i := int64(0); i < nNames; i++ {
+		at := off()
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, decodeErr("phase table", at, fmt.Errorf("phase name %d length: %w", i, err))
+		}
+		if l > uint64(br.Len()) {
+			return nil, decodeErrf("phase table", at, "phase name %d length %d exceeds header", i, l)
+		}
+		name := make([]byte, l)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, decodeErr("phase table", at, fmt.Errorf("phase name %d: %w", i, err))
+		}
+		c.phaseNames = append(c.phaseNames, string(name))
+	}
+	headerEnd := int64(off())
+
+	// Section table: every column 64-byte aligned, in file order, disjoint,
+	// inside (headerEnd, tableOff], with a plausible claimed op count.
+	c.threads = make([]colThread, threads)
+	table := data[tableOff : tableOff+tableLen]
+	prevEnd := headerEnd
+	sumOps := int64(0)
+	for t := int64(0); t < threads; t++ {
+		ent := table[t*tableEntrySize:]
+		entOff := int(tableOff + t*tableEntrySize)
+		ops := int64(le.Uint64(ent[0:8]))
+		shift := le.Uint64(ent[8:16])
+		if ops < 0 {
+			return nil, decodeErrf("section table", entOff, "thread %d: negative op count", t)
+		}
+		if shift > 63 {
+			return nil, decodeErrf("section table", entOff+8, "thread %d: address shift %d out of range", t, shift)
+		}
+		th := &c.threads[t]
+		th.ops = ops
+		th.shift = uint(shift)
+		colBytes := int64(0)
+		for col := 0; col < numCols; col++ {
+			fieldOff := entOff + 16 + col*16
+			secOff := int64(le.Uint64(ent[16+col*16:]))
+			secLen := int64(le.Uint64(ent[24+col*16:]))
+			sec := fmt.Sprintf("thread %d %s column", t, colNames[col])
+			if secOff < 0 || secLen < 0 || secOff > int64(fOff) || secLen > tableOff-secOff {
+				return nil, decodeErrf(sec, fieldOff, "section [%d,%d) out of bounds", secOff, secOff+secLen)
+			}
+			if secOff%columnarAlign != 0 {
+				return nil, decodeErrf(sec, fieldOff, "misaligned section offset %d", secOff)
+			}
+			if secOff < prevEnd {
+				return nil, decodeErrf(sec, fieldOff, "section at %d overlaps previous section ending at %d", secOff, prevEnd)
+			}
+			th.off[col] = secOff
+			th.end[col] = secOff + secLen
+			prevEnd = th.end[col]
+			colBytes += secLen
+		}
+		if ops > maxOpsPerColByte*colBytes+opsClaimSlack {
+			return nil, decodeErrf("section table", entOff, "thread %d: implausible op count %d for %d column bytes", t, ops, colBytes)
+		}
+		sumOps += ops
+	}
+	if sumOps != totalOps {
+		return nil, decodeErrf("footer", fOff+24, "total op count %d != section table sum %d", totalOps, sumOps)
+	}
+	if mapped {
+		runtime.SetFinalizer(c, (*Columnar).Close)
+	}
+	return c, nil
+}
+
+// Close releases the mapping, if any. After Close every cursor over the
+// Columnar is invalid; only call it once no replays reference the trace
+// (the serving layer guarantees this by holding pins, and otherwise leaves
+// cleanup to the finalizer installed by Open).
+func (c *Columnar) Close() error {
+	if !c.mapped {
+		return nil
+	}
+	c.mapped = false
+	runtime.SetFinalizer(c, nil)
+	data := c.data
+	c.data = nil
+	return unmapFile(data)
+}
+
+// Size returns the file size in bytes.
+func (c *Columnar) Size() int64 { return int64(len(c.data)) }
+
+// Mapped reports whether the bytes are an mmap rather than heap memory.
+func (c *Columnar) Mapped() bool { return c.mapped }
+
+// Threads returns the number of per-thread op streams.
+func (c *Columnar) Threads() int { return len(c.threads) }
+
+// ThreadOps returns thread tid's claimed op count (verified by Validate).
+func (c *Columnar) ThreadOps(tid int) int { return int(c.threads[tid].ops) }
+
+// Ops returns the total claimed op count (verified by Validate).
+func (c *Columnar) Ops() int { return int(c.totalOps) }
+
+// PhaseTable returns the phase-name table.
+func (c *Columnar) PhaseTable() []string { return c.phaseNames }
+
+// Geometry returns the record-time L1 geometry.
+func (c *Columnar) Geometry() L1Geometry { return c.l1 }
+
+// CostModel returns the record-time cycle charges.
+func (c *Columnar) CostModel() Costs { return c.costs }
+
+// Digest returns the content digest stored in the footer — the canonical
+// digest every encoding of this trace shares. Open trusts the stored value
+// so the call is O(1); Verify recomputes it from the decoded ops.
+func (c *Columnar) Digest() (uint64, error) { return c.digest, nil }
+
+// Shift returns thread tid's address shift (for nmtrace stat).
+func (c *Columnar) Shift(tid int) uint { return c.threads[tid].shift }
+
+// Section describes one column segment (for nmtrace stat).
+type Section struct {
+	Thread int
+	Column string
+	Offset int64
+	Bytes  int64
+}
+
+// Sections lists every column segment in file order.
+func (c *Columnar) Sections() []Section {
+	secs := make([]Section, 0, len(c.threads)*numCols)
+	for t := range c.threads {
+		for col := 0; col < numCols; col++ {
+			secs = append(secs, Section{
+				Thread: t,
+				Column: colNames[col],
+				Offset: c.threads[t].off[col],
+				Bytes:  c.threads[t].end[col] - c.threads[t].off[col],
+			})
+		}
+	}
+	return secs
+}
+
+// CursorAt returns a fresh columnar cursor over thread tid's columns. The
+// gap column's dictionary header is parsed here, once per cursor; a
+// malformed header latches the cursor failed so the first Next reports it
+// through Err.
+func (c *Columnar) CursorAt(tid int) Cursor {
+	th := &c.threads[tid]
+	cur := Cursor{
+		columnar: true,
+		owner:    c,
+		tid:      tid,
+		n:        th.ops,
+		shift:    th.shift,
+		tags:     c.data[th.off[colTags]:th.end[colTags]],
+		addrs:    c.data[th.off[colAddrs]:th.end[colAddrs]],
+		dmas:     c.data[th.off[colDMAs]:th.end[colDMAs]],
+		phases:   c.data[th.off[colPhases]:th.end[colPhases]],
+		ends:     th.end,
+	}
+	g := c.data[th.off[colGaps]:th.end[colGaps]]
+	if th.ops == 0 && len(g) == 0 {
+		return cur // an all-empty thread carries no dict header
+	}
+	dictLen, m := binary.Uvarint(g)
+	if m <= 0 || dictLen > uint64(len(g)-m)/4 {
+		cur.failed = true
+		cur.col = colGaps
+		return cur
+	}
+	cur.dict = g[m : m+4*int(dictLen)]
+	cur.gaps = g[m+4*int(dictLen):]
+	return cur
+}
+
+// Validate streams every thread's columns once, checking what
+// Trace.Validate checks on decoded streams — OpEnd termination, barrier
+// agreement, address routing, phase-id bounds — plus the columnar framing:
+// the claimed op count decodes exactly and consumes every column byte. It
+// allocates no op slices, so a hostile header cannot turn validation into
+// an allocation amplifier. The result is memoized.
+func (c *Columnar) Validate() error {
+	c.validateOnce.Do(func() { c.validateErr = c.validate() })
+	return c.validateErr
+}
+
+func (c *Columnar) validate() error {
+	barriers := -1
+	for t := range c.threads {
+		cur := c.CursorAt(t)
+		b := 0
+		n := int64(0)
+		endSeen := false
+		for cur.Next() {
+			if endSeen {
+				return fmt.Errorf("trace: thread %d has interior OpEnd at %d", t, n-1)
+			}
+			n++
+			op := cur.Cur
+			switch op.Kind {
+			case OpEnd:
+				endSeen = true
+			case OpBarrier:
+				b++
+			case OpAccess, OpAtomic:
+				if err := levelCheck(op.Addr); err != nil {
+					return fmt.Errorf("trace: thread %d op %d: %w", t, n-1, err)
+				}
+			case OpDMA:
+				if err := levelCheck(op.Addr); err != nil {
+					return fmt.Errorf("trace: thread %d op %d: %w", t, n-1, err)
+				}
+				if err := levelCheck(op.Addr2); err != nil {
+					return fmt.Errorf("trace: thread %d op %d: %w", t, n-1, err)
+				}
+			case OpPhase:
+				if op.Addr >= uint64(len(c.phaseNames)) {
+					return fmt.Errorf("trace: thread %d op %d names phase %d of %d",
+						t, n-1, op.Addr, len(c.phaseNames))
+				}
+			}
+		}
+		if err := cur.Err(); err != nil {
+			return err
+		}
+		if n != c.threads[t].ops {
+			return decodeErrf("section table", int(c.tableOff)+t*tableEntrySize,
+				"thread %d decoded %d ops, table claims %d", t, n, c.threads[t].ops)
+		}
+		if !endSeen {
+			return fmt.Errorf("trace: thread %d stream not terminated", t)
+		}
+		if col := cur.remaining(); col >= 0 {
+			return decodeErrf(cur.colSection(col), int(cur.colOffset(col)),
+				"%d trailing bytes past the claimed %d ops",
+				cur.ends[col]-cur.colOffset(col), c.threads[t].ops)
+		}
+		if barriers == -1 {
+			barriers = b
+		} else if b != barriers {
+			return fmt.Errorf("trace: thread %d reached %d barriers, thread 0 reached %d",
+				t, b, barriers)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes both footer checksums: the whole-payload CRC (torn or
+// corrupted file) and the content digest (the canonical digest of the
+// decoded ops, guarding the daemon's content-addressed store against a v3
+// file whose footer claims another trace's digest). O(file + ops) — Open
+// deliberately skips it; callers that ingest untrusted files (uploads,
+// nmtrace convert) run it explicitly.
+func (c *Columnar) Verify() error {
+	payload := c.data[:len(c.data)-footerSize]
+	if got := crc64.Checksum(payload, crcTable); got != c.payloadCRC {
+		return decodeErrf("checksum", len(payload), "mismatch (%#x != %#x): torn or corrupted stream", got, c.payloadCRC)
+	}
+	_, got, err := writePayload(io.Discard, c)
+	if err != nil {
+		return err
+	}
+	if got != c.digest {
+		return decodeErrf("footer", len(c.data)-footerSize+32,
+			"content digest %#x does not match decoded ops (%#x)", c.digest, got)
+	}
+	return nil
+}
+
+// Decode materializes the legacy in-memory representation. It validates
+// first, so the per-thread allocations are exactly sized by verified
+// counts — a hostile header cannot inflate them.
+func (c *Columnar) Decode() (*Trace, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Streams:    make([][]Op, len(c.threads)),
+		L1:         c.l1,
+		Costs:      c.costs,
+		PhaseNames: c.phaseNames,
+	}
+	for t := range c.threads {
+		ops := make([]Op, 0, c.threads[t].ops)
+		cur := c.CursorAt(t)
+		for cur.Next() {
+			ops = append(ops, cur.Cur)
+		}
+		if err := cur.Err(); err != nil {
+			return nil, err
+		}
+		tr.Streams[t] = ops
+	}
+	return tr, nil
+}
+
+// WriteTo copies the raw v3 bytes — what the daemon's fetch handler
+// streams back for a stored columnar trace.
+func (c *Columnar) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(c.data)
+	return int64(n), err
+}
+
+// Load opens the trace file at path in whichever serialization it carries:
+// v3 files (magic "NMT3") are mmapped via Open, v1/v2 files are fully
+// decoded via ReadTrace.
+func Load(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, err = io.ReadFull(f, magic[:])
+	if err != nil {
+		f.Close()
+		return nil, decodeErr("header", 0, fmt.Errorf("reading magic: %w", err))
+	}
+	if IsColumnar(magic[:]) {
+		f.Close()
+		return Open(path)
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return ReadTrace(f)
+}

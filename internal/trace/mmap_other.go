@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile on platforms without the unix mmap syscall surface: plain read.
+// The Columnar API is identical; only the mapped-bytes accounting and the
+// O(1)-memory property differ.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is never reached: mapFile never reports mapped bytes here.
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,38 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only, reporting whether the returned bytes are a
+// real mapping (and so must go back through unmapFile) or a plain read.
+// mmap failures — exotic filesystems, zero-length files — fall back to
+// reading; only open/stat errors surface.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false, fmt.Errorf("trace: cannot map %q (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, rerr := os.ReadFile(path)
+		return data, false, rerr
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

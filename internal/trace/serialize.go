@@ -65,7 +65,14 @@ const (
 // serializing one would only manufacture an unreadable file whose failure
 // surfaces at the far end of the pipeline instead of at the writer.
 func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
-	n, sum, err := tr.writePayload(w)
+	return writeV2(w, tr)
+}
+
+// writeV2 serializes any Source in the canonical v2 format — the encoding
+// Digest is defined over. nmtrace convert uses it to turn an opened v3
+// file back into v2 bytes without materializing a *Trace first.
+func writeV2(w io.Writer, src Source) (int64, error) {
+	n, sum, err := writePayload(w, src)
 	if err != nil {
 		return n, err
 	}
@@ -77,14 +84,19 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 }
 
 // writePayload writes everything before the trailing checksum and returns
-// the bytes written plus the payload's CRC64 — shared between WriteTo
+// the bytes written plus the payload's CRC64 — shared between writeV2
 // (which appends the CRC as the checksum) and Digest (which returns it).
-func (tr *Trace) writePayload(w io.Writer) (int64, uint64, error) {
-	if len(tr.Streams) == 0 {
+// It iterates src through cursors, so a columnar trace serializes — and
+// digests — without ever allocating op slices; for a *Trace the cursor
+// walk degenerates to the stream slices and the bytes are unchanged from
+// every earlier release.
+func writePayload(w io.Writer, src Source) (int64, uint64, error) {
+	threads := src.Threads()
+	if threads == 0 {
 		return 0, 0, fmt.Errorf("trace: refusing to serialize a trace with no threads")
 	}
-	if len(tr.Streams) > maxThreads {
-		return 0, 0, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", len(tr.Streams), maxThreads)
+	if threads > maxThreads {
+		return 0, 0, fmt.Errorf("trace: refusing to serialize %d threads (max %d)", threads, maxThreads)
 	}
 	cw := &countingWriter{w: w, crc: crc64.New(crcTable)}
 	bw := bufio.NewWriterSize(cw, 1<<20)
@@ -93,21 +105,23 @@ func (tr *Trace) writePayload(w io.Writer) (int64, uint64, error) {
 	if _, err := bw.WriteString(traceMagic); err != nil {
 		return cw.n, 0, err
 	}
+	costs, l1 := src.CostModel(), src.Geometry()
 	hdr := []int64{
 		traceVersion,
-		tr.Costs.IssueCycles, tr.Costs.L1HitCycles, tr.Costs.CompareCycles, tr.Costs.AtomicCycles,
-		int64(tr.L1.Capacity), int64(tr.L1.LineSize), int64(tr.L1.Ways),
-		int64(len(tr.Streams)),
+		costs.IssueCycles, costs.L1HitCycles, costs.CompareCycles, costs.AtomicCycles,
+		int64(l1.Capacity), int64(l1.LineSize), int64(l1.Ways),
+		int64(threads),
 	}
 	if err := put(hdr); err != nil {
 		return cw.n, 0, err
 	}
 
+	names := src.PhaseTable()
 	var buf [3 * binary.MaxVarintLen64]byte
-	if err := put(int64(len(tr.PhaseNames))); err != nil {
+	if err := put(int64(len(names))); err != nil {
 		return cw.n, 0, err
 	}
-	for _, name := range tr.PhaseNames {
+	for _, name := range names {
 		n := binary.PutUvarint(buf[:], uint64(len(name)))
 		if _, err := bw.Write(buf[:n]); err != nil {
 			return cw.n, 0, err
@@ -116,12 +130,14 @@ func (tr *Trace) writePayload(w io.Writer) (int64, uint64, error) {
 			return cw.n, 0, err
 		}
 	}
-	for _, s := range tr.Streams {
-		if err := put(int64(len(s))); err != nil {
+	for t := 0; t < threads; t++ {
+		if err := put(int64(src.ThreadOps(t))); err != nil {
 			return cw.n, 0, err
 		}
 		var prevAddr uint64
-		for _, op := range s {
+		cur := src.CursorAt(t)
+		for cur.Next() {
+			op := cur.Cur
 			tag := byte(op.Kind) & tagKindMask
 			if op.Write {
 				tag |= tagWrite
@@ -151,6 +167,9 @@ func (tr *Trace) writePayload(w io.Writer) (int64, uint64, error) {
 				return cw.n, 0, err
 			}
 		}
+		if err := cur.Err(); err != nil {
+			return cw.n, 0, err
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, 0, err
@@ -177,7 +196,7 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // why nothing in this module mutates a finished trace.
 func (tr *Trace) Digest() (uint64, error) {
 	tr.digestOnce.Do(func() {
-		_, tr.digestVal, tr.digestErr = tr.writePayload(io.Discard)
+		_, tr.digestVal, tr.digestErr = writePayload(io.Discard, tr)
 	})
 	return tr.digestVal, tr.digestErr
 }

@@ -1,0 +1,59 @@
+package trace
+
+// Source is a replayable trace, whatever its in-memory representation: the
+// fully decoded *Trace the recorder produces, or the mmap-backed *Columnar
+// view of a v3 file that decodes ops lazily through cursors. The machine,
+// the harness, and the serving layer all accept a Source, so a daemon can
+// replay straight from a mapped file without ever materializing []Op.
+//
+// A Source is immutable and safe for concurrent use: CursorAt hands every
+// replay its own iteration state over the shared backing data.
+type Source interface {
+	// Threads returns the number of per-thread op streams.
+	Threads() int
+	// ThreadOps returns the number of ops in thread tid's stream.
+	ThreadOps(tid int) int
+	// Ops returns the total op count across all threads.
+	Ops() int
+	// PhaseTable resolves OpPhase markers: an OpPhase op's Addr indexes it.
+	PhaseTable() []string
+	// Geometry returns the record-time L1 filter geometry.
+	Geometry() L1Geometry
+	// CostModel returns the record-time core cycle charges.
+	CostModel() Costs
+	// CursorAt returns a fresh cursor positioned before thread tid's first
+	// op. Cursors are single-goroutine values; take one per replay core.
+	CursorAt(tid int) Cursor
+	// Validate checks stream well-formedness (termination, barrier
+	// agreement, address routing, phase ids) without retaining decoded ops.
+	Validate() error
+	// Digest returns the stable 64-bit content fingerprint shared by every
+	// encoding of the same logical trace (see Trace.Digest).
+	Digest() (uint64, error)
+}
+
+// Compile-time checks: both representations satisfy Source.
+var (
+	_ Source = (*Trace)(nil)
+	_ Source = (*Columnar)(nil)
+)
+
+// Threads returns the number of per-thread op streams.
+func (tr *Trace) Threads() int { return len(tr.Streams) }
+
+// ThreadOps returns the number of ops in thread tid's stream.
+func (tr *Trace) ThreadOps(tid int) int { return len(tr.Streams[tid]) }
+
+// PhaseTable returns the phase-name table.
+func (tr *Trace) PhaseTable() []string { return tr.PhaseNames }
+
+// Geometry returns the record-time L1 geometry.
+func (tr *Trace) Geometry() L1Geometry { return tr.L1 }
+
+// CostModel returns the record-time cycle charges.
+func (tr *Trace) CostModel() Costs { return tr.Costs }
+
+// CursorAt returns a cursor over thread tid's decoded op slice.
+func (tr *Trace) CursorAt(tid int) Cursor {
+	return Cursor{ops: tr.Streams[tid], tid: tid}
+}

@@ -293,3 +293,36 @@ func TestDefaultL1MatchesPaper(t *testing.T) {
 		t.Errorf("DefaultL1 = %+v", g)
 	}
 }
+
+// TestViewsNilProbe pins the uniform nil-probe contract documented on the
+// view API: every U64/I64 operation and both package-level copies accept a
+// nil *TP, perform the real data movement, and record nothing.
+func TestViewsNilProbe(t *testing.T) {
+	u := U64{Base: addr.FarBase, D: make([]uint64, 8)}
+	u.Set(nil, 2, 99)
+	if u.Get(nil, 2) != 99 {
+		t.Error("U64 Set/Get with nil probe lost data")
+	}
+	if u.Slice(1, 4).Get(nil, 1) != 99 {
+		t.Error("U64 Slice+Get with nil probe lost aliasing")
+	}
+	dst := U64{Base: addr.NearBase, D: make([]uint64, 8)}
+	Copy(nil, dst, u)
+	if dst.D[2] != 99 {
+		t.Error("Copy with nil probe did not move data")
+	}
+
+	v := I64{Base: addr.NearBase, D: make([]int64, 8)}
+	v.Set(nil, 0, -3)
+	if v.Get(nil, 0) != -3 {
+		t.Error("I64 Set/Get with nil probe lost data")
+	}
+	if got := v.AtomicAdd(nil, 0, 5); got != 2 {
+		t.Errorf("I64 AtomicAdd with nil probe = %d, want 2", got)
+	}
+	idst := I64{Base: addr.FarBase, D: make([]int64, 8)}
+	CopyI64(nil, idst, v)
+	if idst.D[0] != 2 {
+		t.Error("CopyI64 with nil probe did not move data")
+	}
+}

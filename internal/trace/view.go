@@ -9,6 +9,14 @@ import "repro/internal/addr"
 //
 // Views are values; Slice produces sub-views sharing the backing array,
 // exactly like Go slices.
+//
+// Nil-probe contract: every operation in the view API — U64/I64 method or
+// package-level Copy — accepts a nil *TP and then performs only the real
+// data movement, recording nothing. This is "pure mode" (see TP): the same
+// algorithm code runs instrumented or native depending solely on the probe
+// it is handed, so none of these helpers may ever assume a non-nil probe.
+// The probe methods themselves (Load, Store, Atomic) are nil-receiver-safe,
+// which is the only thing the contract rests on; TestViewsNilProbe pins it.
 type U64 struct {
 	Base addr.Addr
 	D    []uint64
@@ -39,15 +47,14 @@ func (v U64) Slice(lo, hi int) U64 {
 
 // Copy copies src into dst through probe t, reporting the loads and stores.
 // It panics if the lengths differ — a silent partial copy would corrupt an
-// experiment.
+// experiment. Like every view operation, a nil probe copies without
+// recording.
 func Copy(t *TP, dst, src U64) {
 	if dst.Len() != src.Len() {
 		panic("trace: Copy length mismatch")
 	}
-	if t != nil {
-		t.Load(src.Base, 8*src.Len())
-		t.Store(dst.Base, 8*dst.Len())
-	}
+	t.Load(src.Base, 8*src.Len())
+	t.Store(dst.Base, 8*dst.Len())
 	copy(dst.D, src.D)
 }
 
@@ -89,14 +96,13 @@ func (v I64) Slice(lo, hi int) I64 {
 }
 
 // CopyI64 copies src into dst through probe t, reporting the loads and
-// stores. It panics if the lengths differ.
+// stores. It panics if the lengths differ. Like every view operation, a
+// nil probe copies without recording.
 func CopyI64(t *TP, dst, src I64) {
 	if dst.Len() != src.Len() {
 		panic("trace: CopyI64 length mismatch")
 	}
-	if t != nil {
-		t.Load(src.Base, 8*src.Len())
-		t.Store(dst.Base, 8*dst.Len())
-	}
+	t.Load(src.Base, 8*src.Len())
+	t.Store(dst.Base, 8*dst.Len())
 	copy(dst.D, src.D)
 }

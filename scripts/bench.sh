@@ -11,6 +11,10 @@
 #   BenchmarkSweepTable1* (internal/harness) -> BENCH_sweep.json
 #       the Table I replay batch through the sweep worker pool at one
 #       worker and at GOMAXPROCS; the wall-clock win of -par.
+#   BenchmarkTraceOpen*   (internal/trace)   -> BENCH_replay.json
+#       time-to-ready for a trace file in each serialization: v2 reads
+#       and decodes the whole stream, v3 maps the file and checks its
+#       footer. Each point also reports the on-disk file size.
 #
 # Each trajectory is a JSON array with one flat object per run (one line
 # per entry, so awk/grep can read it without a JSON parser). A run appends
@@ -20,6 +24,9 @@
 #   - idle-telemetry overhead vs. the bare replay >= MAX_OVERHEAD_PCT (5%)
 #   - baseline ns/event more than MAX_REGRESSION_PCT (10%) above the last
 #     committed BENCH_replay.json entry
+#   - columnar open speedup below MIN_OPEN_SPEEDUP (5x) or columnar file
+#     size above MAX_SIZE_RATIO (0.8) of the v2 stream — both are
+#     host-independent properties of the serialization itself
 # The Par1/ParMax sweep ratio and the Shards1/Shards4 intra-replay ratio
 # are report-only: they depend on host core count, which is not a property
 # of the code under test. Each entry records gomaxprocs and the host cpu
@@ -36,6 +43,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-10}"
+MIN_OPEN_SPEEDUP="${MIN_OPEN_SPEEDUP:-5}"
+MAX_SIZE_RATIO="${MAX_SIZE_RATIO:-0.8}"
 LABEL="${BENCH_LABEL:-local}"
 STAMP="$(date -u +%Y-%m-%d)"
 CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
@@ -43,13 +52,17 @@ REPLAY_OUT="BENCH_replay.json"
 SWEEP_OUT="BENCH_sweep.json"
 RAW_REPLAY="$(mktemp)"
 RAW_SWEEP="$(mktemp)"
-trap 'rm -f "$RAW_REPLAY" "$RAW_SWEEP"' EXIT
+RAW_OPEN="$(mktemp)"
+trap 'rm -f "$RAW_REPLAY" "$RAW_SWEEP" "$RAW_OPEN"' EXIT
 
 echo "== go test -bench BenchmarkReplay -benchtime $BENCHTIME =="
 go test -run '^$' -bench '^BenchmarkReplay' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW_REPLAY"
 
 echo "== go test -bench BenchmarkSweepTable1 -benchtime $BENCHTIME ./internal/harness =="
 go test -run '^$' -bench '^BenchmarkSweepTable1' -benchtime "$BENCHTIME" ./internal/harness | tee "$RAW_SWEEP"
+
+echo "== go test -bench BenchmarkTraceOpen -benchtime $BENCHTIME ./internal/trace =="
+go test -run '^$' -bench '^BenchmarkTraceOpen' -benchtime "$BENCHTIME" ./internal/trace | tee "$RAW_OPEN"
 
 # last_value FILE KEY: the KEY of the most recent trajectory entry, or ""
 last_value() {
@@ -109,6 +122,22 @@ END {
 	print nsop[p1], nsop[pm], procs+0
 }' "$RAW_SWEEP")
 
+# --- parse the trace-open family ------------------------------------------
+read -r OPEN_V2_NSOP OPEN_V3_NSOP V2_BYTES V3_BYTES < <(awk '
+/^BenchmarkTraceOpen/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")      nsop[name] = $i
+		if ($(i+1) == "file-bytes") bytes[name] = $i
+	}
+}
+END {
+	v2 = "BenchmarkTraceOpenV2"; v3 = "BenchmarkTraceOpenV3"
+	if (!(v2 in nsop) || !(v3 in nsop)) { print "bench.sh: missing trace-open results" > "/dev/stderr"; exit 1 }
+	print nsop[v2], nsop[v3], bytes[v2], bytes[v3]
+}' "$RAW_OPEN")
+
 # --- gate 1: idle-telemetry overhead --------------------------------------
 awk -v max="$MAX_OVERHEAD_PCT" -v base="$BASE_NSOP" -v idle="$IDLE_NSOP" 'BEGIN {
 	if (base+0 == 0 || idle+0 == 0) { print "bench.sh: missing baseline or idle result" > "/dev/stderr"; exit 1 }
@@ -129,6 +158,17 @@ else
 	echo "== no committed baseline in $REPLAY_OUT; recording first entry =="
 fi
 
+# --- gate 3: columnar open speedup and file size --------------------------
+awk -v minsp="$MIN_OPEN_SPEEDUP" -v maxratio="$MAX_SIZE_RATIO" \
+	-v v2="$OPEN_V2_NSOP" -v v3="$OPEN_V3_NSOP" -v b2="$V2_BYTES" -v b3="$V3_BYTES" 'BEGIN {
+	if (v3+0 == 0 || b2+0 == 0) { print "bench.sh: missing trace-open numbers" > "/dev/stderr"; exit 1 }
+	sp = v2 / v3; ratio = b3 / b2
+	printf "== trace open: v2 %.0f ns/op (%.0f bytes), v3 %.0f ns/op (%.0f bytes): %.1fx faster, %.3fx the size (fail under %sx / over %s) ==\n", \
+		v2, b2, v3, b3, sp, ratio, minsp, maxratio
+	if (sp < minsp) { print "bench.sh: columnar open speedup below budget" > "/dev/stderr"; exit 1 }
+	if (ratio > maxratio) { print "bench.sh: columnar file size above budget" > "/dev/stderr"; exit 1 }
+}'
+
 # --- report-only: intra-replay shard speedup ------------------------------
 awk -v s1="$SH1_NSOP" -v s4="$SH4_NSOP" -v procs="$REPLAY_PROCS" 'BEGIN {
 	printf "== intra-replay shards: shards1 %.0f ns/op, shards4 %.0f ns/op, speedup %.2fx at GOMAXPROCS=%d (report-only) ==\n", \
@@ -148,10 +188,13 @@ if [ "$GOMAXPROCS" -le 1 ]; then
 fi
 
 # --- extend both trajectories ---------------------------------------------
-append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s, "shards1_ns_per_op": %s, "shards4_ns_per_op": %s, "shard_speedup": %s, "gomaxprocs": %s, "cpus": %s}' \
+append "$REPLAY_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "baseline_ns_per_event": %s, "baseline_events_per_sec": %s, "baseline_allocs_per_op": %s, "idle_ns_per_event": %s, "active_ns_per_event": %s, "shards1_ns_per_op": %s, "shards4_ns_per_op": %s, "shard_speedup": %s, "open_v2_ns_per_op": %s, "open_v3_ns_per_op": %s, "open_speedup": %s, "v2_file_bytes": %s, "v3_file_bytes": %s, "gomaxprocs": %s, "cpus": %s}' \
 	"$LABEL" "$STAMP" "$BENCHTIME" "$BASE_NSEV" "$BASE_EPS" "$BASE_ALLOCS" "${IDLE_NSEV:-0}" "${ACTIVE_NSEV:-0}" \
 	"$SH1_NSOP" "$SH4_NSOP" \
 	"$(awk -v s1="$SH1_NSOP" -v s4="$SH4_NSOP" 'BEGIN { printf "%.3f", s1 / s4 }')" \
+	"$OPEN_V2_NSOP" "$OPEN_V3_NSOP" \
+	"$(awk -v v2="$OPEN_V2_NSOP" -v v3="$OPEN_V3_NSOP" 'BEGIN { printf "%.1f", v2 / v3 }')" \
+	"$V2_BYTES" "$V3_BYTES" \
 	"$REPLAY_PROCS" "$CPUS")"
 append "$SWEEP_OUT" "$(printf '{"label": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "cpus": %s, "par1_ns_per_op": %s, "parmax_ns_per_op": %s, "speedup": %s}' \
 	"$LABEL" "$STAMP" "$BENCHTIME" "$GOMAXPROCS" "$CPUS" "$PAR1_NSOP" "$PARMAX_NSOP" \

@@ -15,8 +15,10 @@
 #   7. chaos smoke                    the short-mode interrupt/resume chaos
 #                                     test: sweeps killed at seeded slice
 #                                     boundaries must resume byte-identically
-#   8. fuzz smoke                     10s of FuzzReadTrace on the trace
-#                                     decoder (no panics on hostile bytes)
+#   8. fuzz smoke                     10s each of FuzzReadTrace (v2 decoder)
+#                                     and FuzzOpenColumnar (v3 open/cursor
+#                                     path): no panics on hostile bytes,
+#                                     every failure a *DecodeError
 #   9. serve smoke                    boot nmsimd, run the golden sweep
 #                                     locally + remotely cold + remotely
 #                                     cached, cmp all three byte-identical,
@@ -41,6 +43,7 @@ step go test ./...
 step go test -race -short ./...
 step go test -run='^TestChaosInterruptResume$' -short -count=1 ./internal/harness
 step go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/trace
+step go test -run='^$' -fuzz='^FuzzOpenColumnar$' -fuzztime=10s ./internal/trace
 step ./scripts/serve_smoke.sh
 
 echo "== all checks passed =="

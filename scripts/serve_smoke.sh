@@ -6,14 +6,21 @@
 # from the daemon's result cache) — and requires all three reports to be
 # byte-identical. Then checks the cache actually hit via /v1/stats and
 # that SIGTERM drains the daemon to a clean exit 0.
+#
+# A second pass smoke-tests the columnar (v3) serving path: record a trace
+# with nmtrace, convert it to .nmt3 (asserting the size win), upload the v2
+# stream to one fresh daemon and the v3 file to another, submit the same
+# job to both, and require byte-identical response bodies.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 daemon_pid=""
+daemon2_pid=""
 cleanup() {
 	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+	[ -n "$daemon2_pid" ] && kill -9 "$daemon2_pid" 2>/dev/null || true
 	rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -21,18 +28,26 @@ trap cleanup EXIT
 echo "== build =="
 go build -o "$workdir/nmsimd" ./cmd/nmsimd
 go build -o "$workdir/sweep" ./cmd/sweep
+go build -o "$workdir/nmtrace" ./cmd/nmtrace
+
+# wait_addr PID OUTFILE: echo the bound address a daemon printed on start.
+wait_addr() {
+	local pid="$1" out="$2" a=""
+	for i in $(seq 1 100); do
+		a=$(sed -n 's/^nmsimd: listening on //p' "$out")
+		[ -n "$a" ] && break
+		kill -0 "$pid" 2>/dev/null || { cat "$out" >&2; echo "daemon died" >&2; return 1; }
+		sleep 0.1
+	done
+	[ -n "$a" ] || { echo "daemon never printed its address" >&2; return 1; }
+	echo "$a"
+}
 
 echo "== start daemon =="
 "$workdir/nmsimd" -addr 127.0.0.1:0 > "$workdir/daemon.out" &
 daemon_pid=$!
-# The startup line carries the bound address; wait for it.
-for i in $(seq 1 100); do
-	addr=$(sed -n 's/^nmsimd: listening on //p' "$workdir/daemon.out")
-	[ -n "$addr" ] && break
-	kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/daemon.out"; echo "daemon died"; exit 1; }
-	sleep 0.1
-done
-[ -n "$addr" ] && echo "daemon at $addr" || { echo "daemon never printed its address"; exit 1; }
+addr=$(wait_addr "$daemon_pid" "$workdir/daemon.out")
+echo "daemon at $addr"
 
 args="-exp=dma -n 8192 -cores 16 -sp 1"
 echo "== local sweep =="
@@ -57,5 +72,45 @@ kill -TERM "$daemon_pid"
 rc=0; wait "$daemon_pid" || rc=$?
 daemon_pid=""
 [ "$rc" -eq 0 ] || { echo "daemon exited $rc on SIGTERM, want 0"; exit 1; }
+
+echo "== record and convert (v2 -> v3) =="
+"$workdir/nmtrace" record -alg nmsort -n 8192 -cores 16 -sp 1 -o "$workdir/t.nmt"
+"$workdir/nmtrace" convert -i "$workdir/t.nmt" -o "$workdir/t.nmt3"
+v2_bytes=$(wc -c < "$workdir/t.nmt")
+v3_bytes=$(wc -c < "$workdir/t.nmt3")
+echo "v2 $v2_bytes bytes, v3 $v3_bytes bytes"
+[ $((v3_bytes * 5)) -le $((v2_bytes * 4)) ] || { echo "v3 is not <= 80% of v2"; exit 1; }
+
+echo "== start v2/v3 daemon pair =="
+"$workdir/nmsimd" -addr 127.0.0.1:0 > "$workdir/daemon_v2.out" &
+daemon_pid=$!
+addr_v2=$(wait_addr "$daemon_pid" "$workdir/daemon_v2.out")
+"$workdir/nmsimd" -addr 127.0.0.1:0 > "$workdir/daemon_v3.out" &
+daemon2_pid=$!
+addr_v3=$(wait_addr "$daemon2_pid" "$workdir/daemon_v3.out")
+echo "v2 daemon at $addr_v2, v3 daemon at $addr_v3"
+
+echo "== upload both serializations =="
+d2=$(curl -sSf --data-binary @"$workdir/t.nmt" "http://$addr_v2/v1/traces" |
+	sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p')
+d3=$(curl -sSf --data-binary @"$workdir/t.nmt3" "http://$addr_v3/v1/traces" |
+	sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p')
+echo "v2 digest $d2, v3 digest $d3"
+[ -n "$d2" ] && [ "$d2" = "$d3" ] || { echo "digest differs across serializations"; exit 1; }
+
+echo "== same job against both =="
+job() {
+	curl -sSf -H 'Content-Type: application/json' \
+		-d "{\"trace_digest\":\"$1\",\"cores\":16,\"near_channels\":16,\"sp_mib\":1}" \
+		"http://$2/v1/jobs"
+}
+job "$d2" "$addr_v2" > "$workdir/job_v2.json"
+job "$d3" "$addr_v3" > "$workdir/job_v3.json"
+cmp "$workdir/job_v2.json" "$workdir/job_v3.json"
+
+kill -TERM "$daemon_pid" && wait "$daemon_pid" || true
+kill -TERM "$daemon2_pid" && wait "$daemon2_pid" || true
+daemon_pid=""
+daemon2_pid=""
 
 echo "== serve smoke passed =="
